@@ -1,0 +1,390 @@
+// Benchmarks regenerating every table and figure of the paper (one bench
+// per experiment), plus ablations of the design choices DESIGN.md calls
+// out. Each iteration executes the full scenario in the discrete-event
+// simulator; the reported wall time is simulator throughput, and the
+// experiment's own result (virtual seconds, slopes) is attached as custom
+// metrics so `go test -bench` output doubles as a results table.
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fluid"
+	"repro/internal/knative"
+	"repro/internal/sim"
+	"repro/internal/wms"
+	"repro/internal/workload"
+)
+
+func quickOpts() experiments.Options {
+	o := experiments.QuickOptions()
+	o.Reps = 1
+	return o
+}
+
+// BenchmarkFig1ContainerReuse regenerates Fig. 1: docker-per-task vs
+// knative container reuse over a sequential task sweep.
+func BenchmarkFig1ContainerReuse(b *testing.B) {
+	o := quickOpts()
+	var res experiments.Fig1Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig1(o)
+	}
+	b.ReportMetric(res.DockerFit.Slope, "docker_s/task")
+	b.ReportMetric(res.KnativeFit.Slope, "knative_s/task")
+	b.ReportMetric(res.SpeedupPct, "reduction_%")
+}
+
+// BenchmarkFig2ParallelScaling regenerates Fig. 2: parallel-task scaling of
+// native, knative, and condor-container execution.
+func BenchmarkFig2ParallelScaling(b *testing.B) {
+	o := quickOpts()
+	var res experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig2(o)
+	}
+	b.ReportMetric(res.NativeFit.Slope, "native_s/task")
+	b.ReportMetric(res.KnativeFit.Slope, "knative_s/task")
+	b.ReportMetric(res.ContainerFit.Slope, "container_s/task")
+}
+
+// BenchmarkFig5TradeoffPoint regenerates the centre point of Fig. 5's
+// ternary sweep (equal thirds of each mode).
+func BenchmarkFig5TradeoffPoint(b *testing.B) {
+	o := quickOpts()
+	mix := experiments.Mix{Native: 1.0 / 3, Container: 1.0 / 3, Serverless: 1.0 / 3}
+	var res experiments.MixResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunMix(o, mix)
+	}
+	b.ReportMetric(res.MakespanSecs, "virtual_s")
+}
+
+// BenchmarkFig6Scenarios regenerates each of Fig. 6's five highlighted bars.
+func BenchmarkFig6Scenarios(b *testing.B) {
+	for _, sc := range experiments.Fig6Mixes() {
+		sc := sc
+		b.Run(sc.Label, func(b *testing.B) {
+			o := quickOpts()
+			var res experiments.MixResult
+			for i := 0; i < b.N; i++ {
+				res = experiments.RunMix(o, sc.Mix)
+			}
+			b.ReportMetric(res.MakespanSecs, "virtual_s")
+		})
+	}
+}
+
+// BenchmarkColdStart regenerates the Fig. 1 cold-start annotation (1.48 s
+// in the paper).
+func BenchmarkColdStart(b *testing.B) {
+	o := quickOpts()
+	var res experiments.ColdStartResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.ColdStart(o)
+	}
+	b.ReportMetric(res.ColdSecs, "cold_virtual_s")
+	b.ReportMetric(res.WarmSecs, "warm_virtual_s")
+}
+
+// ---- Ablations ----
+
+// benchChain runs one 10-task workflow in the given mode and returns its
+// virtual makespan.
+func benchChain(seed uint64, prm config.Params, mode wms.Mode, policy core.DeployPolicy) time.Duration {
+	s := core.NewStack(seed, prm)
+	s.RegisterTransformation(workload.MatmulTransformation, prm.ImageLayersBytes[len(prm.ImageLayersBytes)-1])
+	var makespan time.Duration
+	s.Env.Go("main", func(p *sim.Proc) {
+		defer s.Shutdown()
+		if mode == wms.ModeServerless {
+			if err := s.DeployFunction(p, workload.MatmulTransformation, policy); err != nil {
+				panic(err)
+			}
+		}
+		wf := workload.Chain("bench", 10, prm.MatrixBytes)
+		res, err := s.Engine.RunWorkflow(p, wf, wms.AssignAll(mode))
+		if err != nil {
+			panic(err)
+		}
+		makespan = res.Makespan()
+	})
+	s.Env.Run()
+	return makespan
+}
+
+// BenchmarkAblationNegotiation compares the per-job negotiation model
+// (default; overheads add to the makespan) against a strict global cycle
+// (which quantizes sequential workflows and hides overheads).
+func BenchmarkAblationNegotiation(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		perJob bool
+	}{{"per-job", true}, {"global-cycle", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			prm := config.Default()
+			prm.PerJobNegotiation = mode.perJob
+			var m time.Duration
+			for i := 0; i < b.N; i++ {
+				m = benchChain(1, prm, wms.ModeContainer, core.DeployPolicy{})
+			}
+			b.ReportMetric(m.Seconds(), "virtual_s")
+		})
+	}
+}
+
+// BenchmarkAblationPreStaging compares pre-staged images+containers
+// (min-scale ≥ 1, pre-pull) with fully deferred provisioning
+// (initial-scale 0, no pre-pull) — the §IV-2 knob. The signal lives in the
+// first task's execution time: deferred provisioning pays the image pull
+// and cold start there.
+func BenchmarkAblationPreStaging(b *testing.B) {
+	policies := []struct {
+		name   string
+		policy core.DeployPolicy
+	}{
+		{"pre-staged", core.ReusePolicy()},
+		{"deferred", core.DeployPolicy{ContainerConcurrency: 1, CapCores: 1}},
+	}
+	for _, pc := range policies {
+		pc := pc
+		b.Run(pc.name, func(b *testing.B) {
+			prm := config.Default()
+			var firstTask float64
+			for i := 0; i < b.N; i++ {
+				firstTask = firstTaskExecSecs(1, prm, pc.policy)
+			}
+			b.ReportMetric(firstTask, "first_task_virtual_s")
+		})
+	}
+}
+
+// firstTaskExecSecs runs a serverless chain and returns the first task's
+// on-worker execution time (start to finish, including the invocation).
+func firstTaskExecSecs(seed uint64, prm config.Params, policy core.DeployPolicy) float64 {
+	s := core.NewStack(seed, prm)
+	s.RegisterTransformation(workload.MatmulTransformation, prm.ImageLayersBytes[len(prm.ImageLayersBytes)-1])
+	var secs float64
+	s.Env.Go("main", func(p *sim.Proc) {
+		defer s.Shutdown()
+		if err := s.DeployFunction(p, workload.MatmulTransformation, policy); err != nil {
+			panic(err)
+		}
+		wf := workload.Chain("bench", 3, prm.MatrixBytes)
+		res, err := s.Engine.RunWorkflow(p, wf, wms.AssignAll(wms.ModeServerless))
+		if err != nil {
+			panic(err)
+		}
+		first := res.Tasks[wf.TaskIDs()[0]]
+		secs = (first.FinishedAt - first.StartedAt).Seconds()
+	})
+	s.Env.Run()
+	return secs
+}
+
+// BenchmarkAblationPassByValue isolates the §IV-3 pass-by-value codec cost
+// against an ideal zero-cost data plane (e.g. a shared filesystem read).
+func BenchmarkAblationPassByValue(b *testing.B) {
+	for _, pc := range []struct {
+		name  string
+		codec float64
+	}{{"by-value", config.Default().PayloadCodecBps}, {"shared-fs", 0}} {
+		pc := pc
+		b.Run(pc.name, func(b *testing.B) {
+			prm := config.Default()
+			prm.PayloadCodecBps = pc.codec
+			var m time.Duration
+			for i := 0; i < b.N; i++ {
+				m = benchChain(1, prm, wms.ModeServerless, core.ReusePolicy())
+			}
+			b.ReportMetric(m.Seconds(), "virtual_s")
+		})
+	}
+}
+
+// BenchmarkAblationUplink varies the submit-node uplink — the mechanism
+// behind Fig. 2's container slope.
+func BenchmarkAblationUplink(b *testing.B) {
+	for _, uc := range []struct {
+		name string
+		bps  float64
+	}{{"1Gbps", 1e9 / 8}, {"10Gbps", 10e9 / 8}} {
+		uc := uc
+		b.Run(uc.name, func(b *testing.B) {
+			o := quickOpts()
+			o.Prm.SubmitUplinkBps = uc.bps
+			var res experiments.Fig2Result
+			for i := 0; i < b.N; i++ {
+				res = experiments.Fig2(o)
+			}
+			b.ReportMetric(res.ContainerFit.Slope, "container_s/task")
+		})
+	}
+}
+
+// BenchmarkAblationContainerConcurrency compares one-request-per-container
+// isolation (cc=1) against co-located tasks (cc=8) under a parallel burst.
+func BenchmarkAblationContainerConcurrency(b *testing.B) {
+	for _, cc := range []int{1, 8} {
+		cc := cc
+		b.Run(map[int]string{1: "cc1", 8: "cc8"}[cc], func(b *testing.B) {
+			var burstSecs float64
+			for i := 0; i < b.N; i++ {
+				burstSecs = burstLatency(uint64(1), cc)
+			}
+			b.ReportMetric(burstSecs, "burst_virtual_s")
+		})
+	}
+}
+
+// burstLatency fires 16 concurrent invocations at a service capped at two
+// replicas and returns the time until all complete.
+func burstLatency(seed uint64, cc int) float64 {
+	prm := config.Default()
+	s := core.NewStack(seed, prm)
+	s.RegisterTransformation(workload.MatmulTransformation, prm.ImageLayersBytes[len(prm.ImageLayersBytes)-1])
+	var total time.Duration
+	s.Env.Go("main", func(p *sim.Proc) {
+		defer s.Shutdown()
+		policy := core.DeployPolicy{
+			MinScale: 2, InitialScale: 2, MaxScale: 2,
+			ContainerConcurrency: cc, PrePullAllNodes: true, CapCores: 1,
+		}
+		if err := s.DeployFunction(p, workload.MatmulTransformation, policy); err != nil {
+			panic(err)
+		}
+		svc, _ := s.Service(workload.MatmulTransformation)
+		start := p.Now()
+		wg := sim.NewWaitGroup(s.Env)
+		for i := 0; i < 16; i++ {
+			wg.Add(1)
+			s.Env.Go("client", func(cp *sim.Proc) {
+				defer wg.Done()
+				_, _ = svc.Invoke(cp, knative.Request{
+					From: cluster.SubmitNodeName, PayloadIn: 2 * prm.MatrixBytes,
+					PayloadOut: prm.MatrixBytes, Work: 0.42,
+				})
+			})
+		}
+		wg.Wait(p)
+		total = p.Now() - start
+	})
+	s.Env.Run()
+	return total.Seconds()
+}
+
+// ---- Simulator micro-benchmarks ----
+
+// BenchmarkSimKernelEvents measures raw event throughput of the DES kernel.
+func BenchmarkSimKernelEvents(b *testing.B) {
+	env := sim.NewEnv(1)
+	env.Go("ticker", func(p *sim.Proc) {
+		for {
+			p.Sleep(time.Millisecond)
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.RunFor(time.Millisecond)
+	}
+}
+
+// BenchmarkFluidServer measures the processor-sharing model under churn.
+func BenchmarkFluidServer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := sim.NewEnv(uint64(i))
+		srv := fluid.New(env, "cpu", 8)
+		for j := 0; j < 64; j++ {
+			j := j
+			env.Go("job", func(p *sim.Proc) {
+				p.Sleep(time.Duration(j) * 10 * time.Millisecond)
+				srv.Run(p, 1, 0)
+			})
+		}
+		env.Run()
+	}
+}
+
+// ---- Extension benchmarks (the paper's §VIII and §IX future work) ----
+
+// BenchmarkExtDataMovement runs the §VIII communication-overhead study.
+func BenchmarkExtDataMovement(b *testing.B) {
+	o := quickOpts()
+	var res experiments.DataMovementResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.DataMovement(o)
+	}
+	for _, row := range res.Rows {
+		if row.Mode == wms.ModeServerless {
+			b.ReportMetric(row.TotalMB, row.Staging.String()+"_total_MB")
+		}
+	}
+}
+
+// BenchmarkExtResizing runs the §IX-C task-resizing study.
+func BenchmarkExtResizing(b *testing.B) {
+	o := quickOpts()
+	var res experiments.ResizingResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.Resizing(o)
+	}
+	if len(res.Rows) >= 2 {
+		b.ReportMetric(res.Rows[0].Makespan, "split1_virtual_s")
+		b.ReportMetric(res.Rows[len(res.Rows)-1].Makespan, "splitN_virtual_s")
+	}
+}
+
+// BenchmarkExtRedirection runs the §IX-D task-redirection study.
+func BenchmarkExtRedirection(b *testing.B) {
+	o := quickOpts()
+	var res experiments.RedirectionResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.Redirection(o)
+	}
+	for _, row := range res.Rows {
+		b.ReportMetric(row.MeanSec, row.Policy+"_mean_s")
+	}
+}
+
+// BenchmarkExtClustering runs the §II-C task-clustering study.
+func BenchmarkExtClustering(b *testing.B) {
+	o := quickOpts()
+	var res experiments.ClusteringResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.Clustering(o)
+	}
+	if len(res.Rows) >= 2 {
+		b.ReportMetric(res.Rows[0].Makespan, "unclustered_virtual_s")
+		b.ReportMetric(res.Rows[1].Makespan, "clustered_virtual_s")
+	}
+}
+
+// BenchmarkExtMontage runs the §IX-A complex-workflow study.
+func BenchmarkExtMontage(b *testing.B) {
+	o := quickOpts()
+	var res experiments.MontageResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.Montage(o)
+	}
+	for _, row := range res.Rows {
+		b.ReportMetric(row.Makespan, row.Mode.String()+"_virtual_s")
+	}
+}
+
+// BenchmarkExtIsolation quantifies the Fig. 5 isolation axis under a noisy
+// co-tenant.
+func BenchmarkExtIsolation(b *testing.B) {
+	o := quickOpts()
+	var res experiments.IsolationResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.Isolation(o)
+	}
+	for _, row := range res.Rows {
+		b.ReportMetric(row.Slowdown, row.Mode.String()+"_slowdown")
+	}
+}

@@ -1,0 +1,77 @@
+// Command fnserve runs the live Flask-equivalent matrix-multiplication
+// function server (§V-C): POST two matrices in the repository's binary
+// format to /invoke and receive their product. /healthz reports readiness.
+//
+//	fnserve -addr :8080 -init 1.2s
+//
+// The -init flag simulates the application-initialisation phase of a cold
+// start (python + flask + numpy import in the paper's deployment).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/matrix"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	initDelay := flag.Duration("init", 0, "simulated app-init delay before readiness")
+	flag.Parse()
+
+	ready := time.Now().Add(*initDelay)
+	served := 0
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if time.Now().Before(ready) {
+			http.Error(w, "initialising", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/invoke", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		if time.Now().Before(ready) {
+			http.Error(w, "initialising", http.StatusServiceUnavailable)
+			return
+		}
+		a, err := matrix.ReadFrom(r.Body)
+		if err != nil {
+			http.Error(w, "first operand: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		b, err := matrix.ReadFrom(r.Body)
+		if err != nil {
+			http.Error(w, "second operand: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if a.Cols != b.Rows {
+			http.Error(w, "shape mismatch", http.StatusBadRequest)
+			return
+		}
+		served++
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = a.Mul(b).WriteTo(w)
+		fmt.Fprintf(os.Stderr, "fnserve: served invocation %d (%dx%d)\n", served, a.Rows, b.Cols)
+	})
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fnserve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("fnserve: listening on http://%s (ready in %v)\n", lis.Addr(), *initDelay)
+	if err := http.Serve(lis, mux); err != nil {
+		fmt.Fprintf(os.Stderr, "fnserve: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,130 @@
+// Command repro regenerates every figure and table of the paper's
+// evaluation on the simulated testbed.
+//
+// Usage:
+//
+//	repro [flags] {fig1|fig2|fig5|fig6|coldstart|config|all}
+//
+// Flags:
+//
+//	-reps N    repetitions (seeds) averaged per number (default: paper setup)
+//	-seed N    base random seed (default 1)
+//	-quick     down-scaled sweeps for a fast smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	reps := flag.Int("reps", 0, "repetitions per reported number (0 = paper default)")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	quick := flag.Bool("quick", false, "down-scaled sweeps")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: repro [flags] {fig1|fig2|fig5|fig6|coldstart|config|all|datamove|resize|redirect|clustering|montage|isolation|ext}\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	o := experiments.DefaultOptions()
+	o.Seed = *seed
+	o.Quick = *quick
+	if *quick {
+		o.Reps = 2
+	}
+	if *reps > 0 {
+		o.Reps = *reps
+	}
+
+	run := func(name string) error {
+		w := os.Stdout
+		fmt.Fprintf(w, "== %s ==\n", name)
+		defer fmt.Fprintln(w)
+		switch name {
+		case "fig1":
+			return writeResult(w, experiments.Fig1(o))
+		case "fig2":
+			return writeResult(w, experiments.Fig2(o))
+		case "fig5":
+			return writeResult(w, experiments.Fig5(o))
+		case "fig6":
+			return writeResult(w, experiments.Fig6(o))
+		case "coldstart":
+			return writeResult(w, experiments.ColdStart(o))
+		case "datamove":
+			return writeResult(w, experiments.DataMovement(o))
+		case "resize":
+			return writeResult(w, experiments.Resizing(o))
+		case "redirect":
+			return writeResult(w, experiments.Redirection(o))
+		case "clustering":
+			return writeResult(w, experiments.Clustering(o))
+		case "montage":
+			return writeResult(w, experiments.Montage(o))
+		case "isolation":
+			return writeResult(w, experiments.Isolation(o))
+		case "config":
+			return printConfig(w, o.Prm)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	target := flag.Arg(0)
+	var names []string
+	switch target {
+	case "all":
+		names = []string{"config", "coldstart", "fig1", "fig2", "fig5", "fig6"}
+	case "ext":
+		names = []string{"datamove", "resize", "redirect", "clustering", "montage", "isolation"}
+	default:
+		names = []string{target}
+	}
+	for _, n := range names {
+		if err := run(n); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+type tabler interface {
+	WriteTable(io.Writer) error
+}
+
+func writeResult(w io.Writer, r tabler) error {
+	return r.WriteTable(w)
+}
+
+// printConfig renders the §V-A software/hardware setup as encoded in the
+// model parameters.
+func printConfig(w io.Writer, p config.Params) error {
+	tbl := metrics.NewTable("parameter", "value", "provenance")
+	tbl.AddRow("worker nodes", p.WorkerNodes, "paper §V-A: 4 VMs, one is submit+control-plane")
+	tbl.AddRow("cores per node", p.CoresPerNode, "paper §V-A")
+	tbl.AddRow("memory per node (MB)", p.MemMBPerNode, "paper §V-A: 32 GB")
+	tbl.AddRow("matrix size (bytes)", p.MatrixBytes, "paper §V-B: 350x350 int64")
+	tbl.AddRow("task demand (core-s)", p.TaskCoreSeconds, "calibrated to Fig. 1 per-task times")
+	tbl.AddRow("image size (bytes)", p.ImageBytes(), "typical slim python+numpy image")
+	tbl.AddRow("container create", p.ContainerCreate, "calibrated to Fig. 1 docker overhead")
+	tbl.AddRow("container start", p.ContainerStart, "calibrated to Fig. 1 docker overhead")
+	tbl.AddRow("container stop+rm", p.ContainerStopRemove, "calibrated to Fig. 1 docker overhead")
+	tbl.AddRow("cold start app init", p.ColdStartAppInit, "calibrated to the 1.48s cold start")
+	tbl.AddRow("negotiator cycle", p.NegotiatorCycle, "calibrated to Fig. 6 absolute makespans")
+	tbl.AddRow("shadow spawn", p.ShadowSpawn, "calibrated to Fig. 2 native slope")
+	tbl.AddRow("submit uplink (B/s)", p.SubmitUplinkBps, "1 Gb/s; Fig. 2 container-slope bottleneck")
+	tbl.AddRow("workflows per run", p.WorkflowsPerRun, "paper §V-C")
+	tbl.AddRow("tasks per workflow", p.TasksPerWorkflow, "paper §V-C")
+	return tbl.Write(w)
+}

@@ -1,0 +1,58 @@
+// Tradeoff: walk the performance-isolation spectrum of the paper's Fig. 5 —
+// mixes of native, per-task-container, and serverless execution across ten
+// concurrent workflows — and print the makespan at each point of a small
+// simplex sweep.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	o := experiments.DefaultOptions()
+	o.Reps = 2
+
+	mixes := []experiments.Mix{
+		{Native: 1}, // no isolation, fastest
+		{Native: 0.75, Serverless: 0.25},
+		{Native: 0.5, Serverless: 0.5}, // the paper's orange bar
+		{Serverless: 1},                // weak isolation via reuse
+		{Native: 0.5, Container: 0.5},  // the paper's red bar
+		{Container: 0.5, Serverless: 0.5},
+		{Container: 1}, // strongest isolation, slowest
+		{Native: 1.0 / 3, Container: 1.0 / 3, Serverless: 1.0 / 3}, // centre of the triangle
+	}
+
+	fmt.Println("isolation/performance trade-off: 10 concurrent workflows x 10 tasks,")
+	fmt.Println("avg slowest makespan per mix (native / container / serverless weights)")
+	fmt.Println()
+
+	tbl := metrics.NewTable("native", "container", "serverless", "slowest_makespan_s", "isolation")
+	for _, mix := range mixes {
+		res := experiments.RunMix(o, mix)
+		tbl.AddRow(mix.Native, mix.Container, mix.Serverless, res.MakespanSecs, isolationLabel(mix))
+	}
+	if err := tbl.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("\nmore container weight -> stronger isolation, longer makespan;")
+	fmt.Println("serverless sits between: container isolation, near-native time.")
+}
+
+func isolationLabel(m experiments.Mix) string {
+	switch {
+	case m.Container >= 0.99:
+		return "strong (fresh container per task)"
+	case m.Native >= 0.99:
+		return "none (shared slots)"
+	case m.Serverless >= 0.99:
+		return "weak (reused containers)"
+	default:
+		return "mixed"
+	}
+}

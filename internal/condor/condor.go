@@ -1,0 +1,373 @@
+// Package condor models the HTCondor batch system the paper's Pegasus
+// deployment runs on: a schedd holding the job queue, one startd per worker
+// advertising static slots (one per core), and a negotiator that matches
+// idle jobs to free slots on a fixed cycle. Matched jobs pay a serialized
+// shadow-spawn cost at the schedd, have their input sandbox transferred from
+// the submit node (through its uplink — the bottleneck behind Fig. 2's
+// container slope), execute on the claimed worker, and transfer outputs
+// back.
+//
+// The absolute makespans in the paper's Fig. 6 are dominated by this layer:
+// a sequential workflow pays roughly one negotiation cycle per task.
+package condor
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+// ExecContext is what a job's function receives on the execution node.
+type ExecContext struct {
+	// Proc is the simulation process running the job.
+	Proc *sim.Proc
+	// Node is the claimed worker.
+	Node *cluster.Node
+	// Job is the job being executed.
+	Job *Job
+}
+
+// JobFunc is the job's payload, executed on the claimed worker node.
+type JobFunc func(ctx *ExecContext) error
+
+// JobStatus tracks a job through the queue.
+type JobStatus int
+
+// Job states, mirroring condor_q.
+const (
+	StatusIdle JobStatus = iota
+	StatusRunning
+	StatusCompleted
+	StatusFailed
+)
+
+func (s JobStatus) String() string {
+	switch s {
+	case StatusIdle:
+		return "Idle"
+	case StatusRunning:
+		return "Running"
+	case StatusCompleted:
+		return "Completed"
+	case StatusFailed:
+		return "Failed"
+	default:
+		return fmt.Sprintf("JobStatus(%d)", int(s))
+	}
+}
+
+// Job is one queued unit of work.
+type Job struct {
+	ID   int
+	Name string
+	// Priority orders competition for scarce slots: higher runs first
+	// (condor's JobPrio). Ties break by submission order.
+	Priority int
+	// Requires is the job's ClassAd-style requirements expression: the
+	// negotiator only matches the job to nodes it accepts. nil matches any
+	// node.
+	Requires func(*cluster.Node) bool
+	// TransferInputBytes is the input sandbox shipped submit → worker
+	// before execution (matrices; plus the container image in Pegasus's
+	// container universe).
+	TransferInputBytes int64
+	// TransferOutputBytes is shipped worker → submit afterwards.
+	TransferOutputBytes int64
+	// Run is the payload.
+	Run JobFunc
+
+	status JobStatus
+	node   string
+	done   *sim.Future[error]
+
+	// Timestamps for analysis.
+	SubmittedAt time.Duration
+	MatchedAt   time.Duration
+	StartedAt   time.Duration
+	FinishedAt  time.Duration
+}
+
+// Status returns the job's queue status.
+func (j *Job) Status() JobStatus { return j.status }
+
+// Node returns the worker that ran (or is running) the job.
+func (j *Job) Node() string { return j.node }
+
+type startd struct {
+	node  *cluster.Node
+	slots int
+	free  int
+}
+
+// Schedd is the submit-side daemon plus the negotiator and startds of the
+// pool. Two negotiation models are supported (config.PerJobNegotiation):
+// per-job submit-triggered matching (default) and a strict global cycle.
+type Schedd struct {
+	env *sim.Env
+	cl  *cluster.Cluster
+	prm config.Params
+
+	idle     []*Job // cycle mode: jobs awaiting the next cycle
+	blocked  []*Job // per-job mode: matched but no slot free yet
+	startds  []*startd
+	rrOffset int // rotates tie-breaking among equally free startds
+	nextID   int
+	shadow   *sim.Semaphore // serializes shadow spawns at the schedd
+	rng      *sim.RNG
+	stopped  bool
+	started  bool
+	running  int
+	finished int
+}
+
+// New builds a pool: one startd per worker with one slot per core.
+func New(env *sim.Env, cl *cluster.Cluster, prm config.Params) *Schedd {
+	s := &Schedd{
+		env:    env,
+		cl:     cl,
+		prm:    prm,
+		shadow: sim.NewSemaphore(env, 1),
+		rng:    env.Rand().Fork(),
+	}
+	for _, w := range cl.Workers {
+		s.startds = append(s.startds, &startd{node: w, slots: w.Cores, free: w.Cores})
+	}
+	return s
+}
+
+// Start launches the negotiator (cycle mode only; per-job mode matches from
+// submit-triggered events). Call once before submitting jobs.
+func (s *Schedd) Start() {
+	if s.started {
+		panic("condor: Start called twice")
+	}
+	s.started = true
+	if !s.prm.PerJobNegotiation {
+		s.env.Go("negotiator", s.negotiatorLoop)
+	}
+}
+
+// Shutdown stops the negotiator after its current cycle. Jobs already
+// matched run to completion; idle jobs stay idle forever.
+func (s *Schedd) Shutdown() { s.stopped = true }
+
+// TotalSlots returns the pool's slot count.
+func (s *Schedd) TotalSlots() int {
+	n := 0
+	for _, sd := range s.startds {
+		n += sd.slots
+	}
+	return n
+}
+
+// FreeSlots returns currently unclaimed slots.
+func (s *Schedd) FreeSlots() int {
+	n := 0
+	for _, sd := range s.startds {
+		n += sd.free
+	}
+	return n
+}
+
+// QueueDepth returns the number of jobs waiting to start.
+func (s *Schedd) QueueDepth() int { return len(s.idle) + len(s.blocked) }
+
+// Completed returns the number of jobs finished (successfully or not).
+func (s *Schedd) Completed() int { return s.finished }
+
+// Submit queues a job at default priority. It never blocks; wait for
+// completion with Wait.
+func (s *Schedd) Submit(name string, inBytes, outBytes int64, fn JobFunc) *Job {
+	return s.SubmitPriority(name, 0, inBytes, outBytes, fn)
+}
+
+// SubmitPriority queues a job with an explicit priority (condor JobPrio):
+// when slots are scarce, higher-priority jobs start first.
+func (s *Schedd) SubmitPriority(name string, priority int, inBytes, outBytes int64, fn JobFunc) *Job {
+	return s.SubmitConstrained(name, priority, nil, inBytes, outBytes, fn)
+}
+
+// SubmitConstrained queues a job with a priority and a requirements
+// expression the matched node must satisfy (condor's Requirements ClassAd).
+func (s *Schedd) SubmitConstrained(name string, priority int, requires func(*cluster.Node) bool, inBytes, outBytes int64, fn JobFunc) *Job {
+	if !s.started {
+		panic("condor: Submit before Start")
+	}
+	j := &Job{
+		ID:                  s.nextID,
+		Name:                name,
+		Priority:            priority,
+		Requires:            requires,
+		TransferInputBytes:  inBytes,
+		TransferOutputBytes: outBytes,
+		Run:                 fn,
+		done:                sim.NewFuture[error](s.env),
+		SubmittedAt:         s.env.Now(),
+	}
+	s.nextID++
+	if s.prm.PerJobNegotiation {
+		// The schedd's reschedule request triggers a negotiation for this
+		// job after the (jittered) negotiation latency.
+		delay := s.rng.Jitter(s.prm.NegotiationDelay, s.prm.NegotiatorJitterFrac)
+		s.env.After(delay, func() { s.tryMatch(j) })
+	} else {
+		s.idle = insertByPriority(s.idle, j)
+	}
+	return j
+}
+
+// tryMatch (per-job mode) claims a slot for the job or parks it until one
+// frees, in priority order.
+func (s *Schedd) tryMatch(j *Job) {
+	if s.stopped {
+		return
+	}
+	sd := s.pickStartdFor(j)
+	if sd == nil {
+		s.blocked = insertByPriority(s.blocked, j)
+		return
+	}
+	s.dispatch(j, sd)
+}
+
+// insertByPriority keeps the queue ordered by descending priority,
+// submission order within a priority.
+func insertByPriority(q []*Job, j *Job) []*Job {
+	i := len(q)
+	for i > 0 && q[i-1].Priority < j.Priority {
+		i--
+	}
+	q = append(q, nil)
+	copy(q[i+1:], q[i:])
+	q[i] = j
+	return q
+}
+
+// dispatch claims the slot and launches the job's runner process.
+func (s *Schedd) dispatch(j *Job, sd *startd) {
+	sd.free--
+	j.status = StatusRunning
+	j.node = sd.node.Name
+	j.MatchedAt = s.env.Now()
+	s.running++
+	s.env.Go(fmt.Sprintf("job-%d", j.ID), func(jp *sim.Proc) {
+		s.runJob(jp, j, sd)
+	})
+}
+
+// Wait blocks until the job completes, returning its error.
+func (s *Schedd) Wait(p *sim.Proc, j *Job) error {
+	return j.done.Get(p)
+}
+
+// negotiatorLoop (cycle mode) matches idle jobs to free slots once per
+// (jittered) cycle.
+func (s *Schedd) negotiatorLoop(p *sim.Proc) {
+	for !s.stopped {
+		p.Sleep(s.rng.Jitter(s.prm.NegotiatorCycle, s.prm.NegotiatorJitterFrac))
+		if s.stopped {
+			return
+		}
+		s.matchmake()
+	}
+}
+
+// matchmake assigns idle jobs to free slots in priority order, spreading
+// them across startds by most-free-slots first. Jobs whose requirements no
+// free node satisfies stay idle without blocking jobs behind them.
+func (s *Schedd) matchmake() {
+	remaining := s.idle[:0]
+	for _, j := range s.idle {
+		sd := s.pickStartdFor(j)
+		if sd == nil {
+			remaining = append(remaining, j)
+			continue
+		}
+		s.dispatch(j, sd)
+	}
+	s.idle = remaining
+}
+
+// pickStartd returns the startd with the most free slots; ties rotate
+// round-robin, as a real negotiator does not pin an idle pool's matches to
+// one machine.
+func (s *Schedd) pickStartd() *startd {
+	return s.pickStartdMatching(nil)
+}
+
+// pickStartdFor applies the job's requirements expression.
+func (s *Schedd) pickStartdFor(j *Job) *startd {
+	return s.pickStartdMatching(j.Requires)
+}
+
+func (s *Schedd) pickStartdMatching(requires func(*cluster.Node) bool) *startd {
+	var best *startd
+	s.rrOffset++
+	n := len(s.startds)
+	for i := 0; i < n; i++ {
+		sd := s.startds[(i+s.rrOffset)%n]
+		if sd.free <= 0 {
+			continue
+		}
+		if requires != nil && !requires(sd.node) {
+			continue
+		}
+		if best == nil || sd.free > best.free {
+			best = sd
+		}
+	}
+	return best
+}
+
+// runJob drives one matched job: serialized shadow spawn, sandbox transfer
+// in, starter setup, payload, transfer out.
+func (s *Schedd) runJob(p *sim.Proc, j *Job, sd *startd) {
+	// condor_shadow processes spawn one at a time at the schedd; this
+	// serialization is the dominant per-job dispatch cost (Fig. 2's native
+	// slope).
+	s.shadow.Acquire(p, 1)
+	p.Sleep(p.Rand().Jitter(s.prm.ShadowSpawn, s.prm.CondorJitterFrac))
+	s.shadow.Release(1)
+
+	s.cl.Net.Transfer(p, cluster.SubmitNodeName, sd.node.Name, j.TransferInputBytes)
+	p.Sleep(p.Rand().Jitter(s.prm.JobStartOverhead, s.prm.CondorJitterFrac))
+	j.StartedAt = p.Now()
+
+	var err error
+	if s.prm.JobFailureProb > 0 && s.rng.Float64() < s.prm.JobFailureProb {
+		// Injected transient failure (starter crash, eviction): the job
+		// dies partway through its execution.
+		p.Sleep(time.Duration(s.rng.Float64() * float64(time.Second)))
+		err = fmt.Errorf("condor: job %d evicted on %s (injected fault)", j.ID, sd.node.Name)
+	} else {
+		err = j.Run(&ExecContext{Proc: p, Node: sd.node, Job: j})
+	}
+
+	if err == nil && j.TransferOutputBytes > 0 {
+		s.cl.Net.Transfer(p, sd.node.Name, cluster.SubmitNodeName, j.TransferOutputBytes)
+	}
+	j.FinishedAt = p.Now()
+	if err != nil {
+		j.status = StatusFailed
+	} else {
+		j.status = StatusCompleted
+	}
+	sd.free++
+	s.running--
+	s.finished++
+	// Per-job mode: hand the freed slot to the first blocked job (priority
+	// order) whose requirements some free node satisfies.
+	if s.prm.PerJobNegotiation && !s.stopped {
+		for i, next := range s.blocked {
+			if nsd := s.pickStartdFor(next); nsd != nil {
+				s.blocked = append(s.blocked[:i], s.blocked[i+1:]...)
+				s.dispatch(next, nsd)
+				break
+			}
+		}
+	}
+	j.done.Set(err)
+}

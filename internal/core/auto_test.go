@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/wms"
+	"repro/internal/workload"
+)
+
+func TestAutoIntegrateDeploysEveryTransformation(t *testing.T) {
+	prm := fastParams()
+	s := NewStack(9, prm)
+
+	// A two-transformation workflow, neither registered beforehand.
+	wf := wms.NewWorkflow("multi")
+	_ = wf.AddTask(wms.TaskSpec{ID: "gen", Transformation: "generate",
+		Outputs: []wms.FileSpec{{LFN: "x", Bytes: prm.MatrixBytes}}})
+	_ = wf.AddTask(wms.TaskSpec{ID: "mul", Transformation: "matmul",
+		Inputs:  []wms.FileSpec{{LFN: "x", Bytes: prm.MatrixBytes}},
+		Outputs: []wms.FileSpec{{LFN: "y", Bytes: prm.MatrixBytes}}})
+	_ = wf.AddDependency("gen", "mul")
+
+	s.Env.Go("main", func(p *sim.Proc) {
+		defer s.Shutdown()
+		if err := s.AutoIntegrate(p, wf, ReusePolicy()); err != nil {
+			t.Error(err)
+			return
+		}
+		for _, tr := range []string{"generate", "matmul"} {
+			if _, ok := s.Catalogs.Transformation(tr); !ok {
+				t.Errorf("transformation %s not registered", tr)
+			}
+			svc, ok := s.Service(tr)
+			if !ok {
+				t.Errorf("function %s not deployed", tr)
+				continue
+			}
+			if svc.ReadyPods() != 1 {
+				t.Errorf("%s ReadyPods = %d", tr, svc.ReadyPods())
+			}
+		}
+		// The integrated workflow runs fully serverless with no further
+		// manual steps — the §IX-B automation goal.
+		res, err := s.Engine.RunWorkflow(p, wf, wms.AssignAll(wms.ModeServerless))
+		if err != nil {
+			t.Error(err)
+		} else if res.ModeCount(wms.ModeServerless) != 2 {
+			t.Errorf("serverless tasks = %d", res.ModeCount(wms.ModeServerless))
+		}
+	})
+	s.Env.Run()
+}
+
+func TestAutoIntegrateIdempotent(t *testing.T) {
+	prm := fastParams()
+	s := NewStack(10, prm)
+	wf := workload.Chain("c", 2, prm.MatrixBytes)
+	s.Env.Go("main", func(p *sim.Proc) {
+		defer s.Shutdown()
+		if err := s.AutoIntegrate(p, wf, ReusePolicy()); err != nil {
+			t.Error(err)
+		}
+		// Second call must not re-deploy (DeployFunction rejects dups).
+		if err := s.AutoIntegrate(p, wf, ReusePolicy()); err != nil {
+			t.Errorf("second AutoIntegrate failed: %v", err)
+		}
+	})
+	s.Env.Run()
+}

@@ -1,0 +1,315 @@
+// Package core implements the paper's contribution: the integration of a
+// serverless platform (the knative package) with a workflow management
+// system (the wms package) running on HTCondor, so that workflow tasks can
+// execute natively, in per-task containers, or as invocations of
+// pre-registered serverless functions — a tunable trade-off between
+// execution time and performance isolation.
+//
+// The integration has three parts, mirroring §IV of the paper:
+//
+//   - task containerization and registration: transformations are packaged
+//     into images, pushed to the registry, and registered with Knative
+//     before the workflow runs (Stack.DeployFunction);
+//   - container provisioning policy: the Knative annotations min-scale and
+//     initial-scale choose between pre-staging containers on workers and
+//     deferring image download to first invocation (DeployPolicy);
+//   - transparent invocation with pass-by-value file handling: the planner
+//     (wms.Engine) replaces each serverless task with a wrapper condor job
+//     that POSTs the input files in the request body and writes the response
+//     back out, leaving the abstract workflow unchanged.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/condor"
+	"repro/internal/config"
+	"repro/internal/crt"
+	"repro/internal/knative"
+	"repro/internal/kube"
+	"repro/internal/registry"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/wms"
+)
+
+// DeployPolicy selects the container provisioning strategy for a function
+// (§IV-2 and §V-E).
+type DeployPolicy struct {
+	// MinScale maps to "autoscaling.knative.dev/min-scale": keep at least
+	// this many warm replicas; their nodes download the image ahead of
+	// time.
+	MinScale int
+	// InitialScale maps to "autoscaling.knative.dev/initial-scale": the
+	// replica count provisioned at registration. Zero defers container
+	// download and creation until a task is invoked — the behaviour closest
+	// to how Pegasus ships containers at job execution time.
+	InitialScale int
+	// MaxScale bounds scale-out (0 = unbounded).
+	MaxScale int
+	// ContainerConcurrency is the per-replica concurrent request limit:
+	// 1 gives each task a container to itself for the duration of the
+	// request; higher values let concurrent tasks share a warm container.
+	ContainerConcurrency int
+	// PrePullAllNodes additionally stages the image on every worker before
+	// the run (the paper's "containers distributed to workers" scenario).
+	PrePullAllNodes bool
+	// CapCores is the cgroup quota per function container (0 = uncapped).
+	CapCores float64
+}
+
+// DefaultPolicy is the configuration of the paper's parallel-scaling
+// experiment (Fig. 2): warm replicas with multiple tasks co-located in the
+// same container ("Knative allows multiple tasks to be co-located within
+// the same container", §III-C).
+func DefaultPolicy() DeployPolicy {
+	return DeployPolicy{
+		MinScale:             1,
+		InitialScale:         1,
+		ContainerConcurrency: 8,
+		PrePullAllNodes:      true,
+		CapCores:             1,
+	}
+}
+
+// ReusePolicy is the serverless point of Figs. 5–6: "allowing only one
+// request per container at a time but reusing the container structure for
+// subsequent tasks" — strongest per-request isolation the serverless path
+// offers, with reuse across tasks.
+func ReusePolicy() DeployPolicy {
+	return DeployPolicy{
+		MinScale:             1,
+		InitialScale:         1,
+		ContainerConcurrency: 1,
+		PrePullAllNodes:      true,
+		CapCores:             1,
+	}
+}
+
+// Stack assembles the full simulated testbed: cluster, registry, container
+// runtimes, HTCondor pool, Kubernetes control plane, Knative serving, and
+// the workflow engine, all wired together.
+type Stack struct {
+	Env      *sim.Env
+	Prm      config.Params
+	Cluster  *cluster.Cluster
+	Registry *registry.Registry
+	Runtimes crt.Set
+	Pool     *condor.Schedd
+	Kube     *kube.Kube
+	Knative  *knative.Knative
+	Catalogs *wms.Catalogs
+	Engine   *wms.Engine
+	// FS is the shared filesystem exported by the submit node, used when
+	// the engine's staging strategy is wms.StageSharedFS (§V-E).
+	FS *storage.SharedFS
+	// Store is the Minio-like object service on the submit node, used when
+	// the staging strategy is wms.StageObjectStore (§V-E).
+	Store *storage.ObjectStore
+
+	services map[string]*knative.Service
+}
+
+// NewStack builds and starts the testbed described by prm on a fresh
+// simulation environment with the given seed.
+func NewStack(seed uint64, prm config.Params) *Stack {
+	env := sim.NewEnv(seed)
+	cl := cluster.New(env, prm)
+	reg := registry.New(cl.Net)
+	rts := crt.NewSet(env, cl, reg, prm)
+	pool := condor.New(env, cl, prm)
+	pool.Start()
+	k := kube.New(env, cl, rts, prm)
+	k.Start()
+	kn := knative.New(env, cl, k, prm)
+	cat := wms.NewCatalogs()
+	fs := storage.NewSharedFS(env, cl.Net, cluster.SubmitNodeName, 400e6)
+	store := storage.NewObjectStore(env, cl.Net, cluster.SubmitNodeName, 400e6)
+
+	s := &Stack{
+		Env:      env,
+		Prm:      prm,
+		Cluster:  cl,
+		Registry: reg,
+		Runtimes: rts,
+		Pool:     pool,
+		Kube:     k,
+		Knative:  kn,
+		Catalogs: cat,
+		FS:       fs,
+		Store:    store,
+		services: make(map[string]*knative.Service),
+	}
+	s.Engine = &wms.Engine{
+		Env:      env,
+		Cl:       cl,
+		Pool:     pool,
+		Runtimes: rts,
+		Reg:      reg,
+		Catalogs: cat,
+		Prm:      prm,
+		Retries:  2,
+		Services: s.resolve,
+		FS:       fs,
+		Store:    store,
+	}
+	return s
+}
+
+func (s *Stack) resolve(transformation string) (*knative.Service, bool) {
+	svc, ok := s.services[transformation]
+	return svc, ok
+}
+
+// RegisterTransformation packages a transformation: it declares it in the
+// transformation catalog and builds and pushes its container image (the
+// shared base layers plus an app layer).
+func (s *Stack) RegisterTransformation(name string, appBytes int64) {
+	imageName := name + "-img"
+	base := s.Prm.ImageLayersBytes[:len(s.Prm.ImageLayersBytes)-1]
+	s.Registry.Push(registry.NewImage(imageName, base, appBytes))
+	s.Catalogs.AddTransformation(wms.Transformation{Name: name, Image: imageName})
+}
+
+// DeployFunction registers a transformation's function with Knative under
+// the given provisioning policy. It must run before the workflow (§IV-1:
+// "task registration with the serverless system was done manually before
+// the execution of the workflow") and blocks until pre-provisioned replicas
+// are ready.
+func (s *Stack) DeployFunction(p *sim.Proc, transformation string, policy DeployPolicy) error {
+	tr, ok := s.Catalogs.Transformation(transformation)
+	if !ok {
+		return fmt.Errorf("core: unknown transformation %q", transformation)
+	}
+	if _, dup := s.services[transformation]; dup {
+		return fmt.Errorf("core: function for %q already deployed", transformation)
+	}
+	if policy.PrePullAllNodes {
+		for _, w := range s.Cluster.Workers {
+			if err := s.Runtimes[w.Name].PullImage(p, tr.Image); err != nil {
+				return err
+			}
+		}
+	}
+	svc, err := s.Knative.Deploy(p, knative.ServiceSpec{
+		Name:                 transformation,
+		Image:                tr.Image,
+		ContainerConcurrency: policy.ContainerConcurrency,
+		MinScale:             policy.MinScale,
+		InitialScale:         policy.InitialScale,
+		MaxScale:             policy.MaxScale,
+		CPURequest:           1,
+		MemMB:                512,
+		CapCores:             policy.CapCores,
+		AppInit:              s.Prm.ColdStartAppInit,
+	})
+	if err != nil {
+		return err
+	}
+	s.services[transformation] = svc
+	return nil
+}
+
+// Service returns the deployed function for a transformation.
+func (s *Stack) Service(transformation string) (*knative.Service, bool) {
+	return s.resolve(transformation)
+}
+
+// AutoIntegrate is the §IX-B automation: it scans a workflow, registers any
+// transformation missing from the catalog (building and pushing an image
+// with the default app-layer size), and deploys a function for each one not
+// yet deployed — no manual per-function registration step.
+func (s *Stack) AutoIntegrate(p *sim.Proc, wf *wms.Workflow, policy DeployPolicy) error {
+	seen := make(map[string]bool)
+	for _, id := range wf.TaskIDs() {
+		task, _ := wf.Task(id)
+		tr := task.Transformation
+		if seen[tr] {
+			continue
+		}
+		seen[tr] = true
+		if _, ok := s.Catalogs.Transformation(tr); !ok {
+			appLayer := s.Prm.ImageLayersBytes[len(s.Prm.ImageLayersBytes)-1]
+			s.RegisterTransformation(tr, appLayer)
+		}
+		if _, deployed := s.services[tr]; !deployed {
+			if err := s.DeployFunction(p, tr, policy); err != nil {
+				return fmt.Errorf("core: auto-integrate %s: %w", tr, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Shutdown stops every daemon so Env.Run drains.
+func (s *Stack) Shutdown() {
+	s.Knative.Shutdown()
+	s.Kube.Shutdown()
+	s.Pool.Shutdown()
+}
+
+// ConcurrentResult is the outcome of a set of concurrent workflow runs —
+// the paper's unit of measurement (§V-D: "the average execution time of the
+// slowest workflow among the 10 concurrent runs").
+type ConcurrentResult struct {
+	Runs []*wms.RunResult
+}
+
+// SlowestMakespan returns the largest makespan across the runs.
+func (r *ConcurrentResult) SlowestMakespan() time.Duration {
+	var max time.Duration
+	for _, run := range r.Runs {
+		if m := run.Makespan(); m > max {
+			max = m
+		}
+	}
+	return max
+}
+
+// MeanMakespan returns the mean makespan across the runs.
+func (r *ConcurrentResult) MeanMakespan() time.Duration {
+	if len(r.Runs) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, run := range r.Runs {
+		sum += run.Makespan()
+	}
+	return sum / time.Duration(len(r.Runs))
+}
+
+// ModeCounts tallies executed tasks by mode across all runs.
+func (r *ConcurrentResult) ModeCounts() map[wms.Mode]int {
+	counts := make(map[wms.Mode]int)
+	for _, run := range r.Runs {
+		for _, t := range run.Tasks {
+			counts[t.Mode]++
+		}
+	}
+	return counts
+}
+
+// RunConcurrentWorkflows launches every workflow at once (Fig. 4) and
+// blocks until all complete.
+func (s *Stack) RunConcurrentWorkflows(p *sim.Proc, wfs []*wms.Workflow, assign wms.ModeAssigner) (*ConcurrentResult, error) {
+	results := make([]*wms.RunResult, len(wfs))
+	errs := make([]error, len(wfs))
+	wg := sim.NewWaitGroup(s.Env)
+	for i, wf := range wfs {
+		i, wf := i, wf
+		wg.Add(1)
+		s.Env.Go("wf-"+wf.Name, func(wp *sim.Proc) {
+			defer wg.Done()
+			results[i], errs[i] = s.Engine.RunWorkflow(wp, wf, assign)
+		})
+	}
+	wg.Wait(p)
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: workflow %s: %w", wfs[i].Name, err)
+		}
+	}
+	return &ConcurrentResult{Runs: results}, nil
+}

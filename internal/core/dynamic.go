@@ -1,0 +1,53 @@
+package core
+
+import (
+	"repro/internal/knative"
+	"repro/internal/sim"
+	"repro/internal/wms"
+)
+
+// This file is the "dynamic" in dynamic HPC workflows: instead of batch
+// submission, workflows are planned and launched in response to events
+// (data arrival, instrument output) flowing through Knative Eventing —
+// the event-driven architecture the paper's abstract credits with
+// "aligning with the dynamic nature of scientific workloads".
+
+// DynamicRun records one event-triggered workflow execution.
+type DynamicRun struct {
+	Event  knative.Event
+	Result *wms.RunResult
+	Err    error
+}
+
+// DynamicRuns collects the executions a WatchAndRun trigger has launched.
+type DynamicRuns struct {
+	stack *Stack
+	wg    *sim.WaitGroup
+	runs  []*DynamicRun
+}
+
+// Runs returns the completed (and failed) executions so far.
+func (d *DynamicRuns) Runs() []*DynamicRun { return d.runs }
+
+// Wait blocks until every workflow triggered so far has finished.
+func (d *DynamicRuns) Wait(p *sim.Proc) { d.wg.Wait(p) }
+
+// WorkflowBuilder derives a workflow (and its mode assignment) from an
+// event — e.g. a chain whose first input is the file the event announces.
+type WorkflowBuilder func(ev knative.Event) (*wms.Workflow, wms.ModeAssigner)
+
+// WatchAndRun subscribes to the broker: every event of eventType is turned
+// into a workflow by build and run through the engine immediately. The
+// returned DynamicRuns tracks completions.
+func (s *Stack) WatchAndRun(broker *knative.Broker, triggerName, eventType string, build WorkflowBuilder) *DynamicRuns {
+	d := &DynamicRuns{stack: s, wg: sim.NewWaitGroup(s.Env)}
+	broker.Subscribe(triggerName, eventType, func(p *sim.Proc, ev knative.Event) {
+		wf, assign := build(ev)
+		run := &DynamicRun{Event: ev}
+		d.runs = append(d.runs, run)
+		d.wg.Add(1)
+		defer d.wg.Done()
+		run.Result, run.Err = s.Engine.RunWorkflow(p, wf, assign)
+	})
+	return d
+}

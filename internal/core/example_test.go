@@ -1,0 +1,48 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/wms"
+	"repro/internal/workload"
+)
+
+// The headline API end to end: build the testbed, register and deploy the
+// function, run one workflow serverlessly, and observe container reuse.
+func Example() {
+	prm := config.Default()
+	prm.NegotiationDelay = 2 * time.Second // shrink condor latency for the demo
+	prm.NegotiatorJitterFrac = 0
+	prm.CondorJitterFrac = 0
+	prm.TaskJitterFrac = 0
+
+	stack := core.NewStack(42, prm)
+	stack.RegisterTransformation(workload.MatmulTransformation, 18<<20)
+
+	stack.Env.Go("main", func(p *sim.Proc) {
+		defer stack.Shutdown()
+		if err := stack.DeployFunction(p, workload.MatmulTransformation, core.ReusePolicy()); err != nil {
+			fmt.Println("deploy:", err)
+			return
+		}
+		wf := workload.Chain("demo", 5, prm.MatrixBytes)
+		res, err := stack.Engine.RunWorkflow(p, wf, wms.AssignAll(wms.ModeServerless))
+		if err != nil {
+			fmt.Println("run:", err)
+			return
+		}
+		created := 0
+		for _, rt := range stack.Runtimes {
+			created += rt.CreatedTotal()
+		}
+		fmt.Printf("%d tasks served by %d container(s)\n", len(res.Tasks), created)
+	})
+	stack.Env.Run()
+
+	// Output:
+	// 5 tasks served by 1 container(s)
+}

@@ -1,0 +1,241 @@
+// Package crt is the per-node container runtime: a Docker-engine model with
+// an image store, container lifecycle (create → start → exec* → stop/remove)
+// and the per-operation overheads whose accumulation is the Docker curve of
+// the paper's Fig. 1. Keeping a started container and calling Exec on it
+// repeatedly is container reuse — the serverless platform's headline
+// mechanism.
+package crt
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/fluid"
+	"repro/internal/registry"
+	"repro/internal/sim"
+)
+
+// State is a container lifecycle state.
+type State int
+
+// Container lifecycle states.
+const (
+	StateCreated State = iota
+	StateRunning
+	StateRemoved
+)
+
+func (s State) String() string {
+	switch s {
+	case StateCreated:
+		return "created"
+	case StateRunning:
+		return "running"
+	case StateRemoved:
+		return "removed"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Runtime is one node's container engine.
+type Runtime struct {
+	env    *sim.Env
+	node   *cluster.Node
+	reg    *registry.Registry
+	params config.Params
+
+	layers     map[string]bool
+	images     map[string]registry.Image
+	containers map[int]*Container
+	nextID     int
+	loader     *fluid.Server // docker-load unpack bandwidth, shared per node
+
+	createdTotal int
+	removedTotal int
+}
+
+// Set is the collection of per-worker runtimes for a cluster — the one
+// Docker engine per node that both the batch system's container universe and
+// the Kubernetes kubelet drive.
+type Set map[string]*Runtime
+
+// NewSet builds one runtime per worker node.
+func NewSet(env *sim.Env, cl *cluster.Cluster, reg *registry.Registry, params config.Params) Set {
+	set := make(Set, len(cl.Workers))
+	for _, w := range cl.Workers {
+		set[w.Name] = New(env, w, reg, params)
+	}
+	return set
+}
+
+// New returns a runtime for node backed by the given registry.
+func New(env *sim.Env, node *cluster.Node, reg *registry.Registry, params config.Params) *Runtime {
+	return &Runtime{
+		env:        env,
+		node:       node,
+		reg:        reg,
+		params:     params,
+		layers:     make(map[string]bool),
+		images:     make(map[string]registry.Image),
+		containers: make(map[int]*Container),
+		loader:     fluid.New(env, "imgload:"+node.Name, params.ImageLoadBps),
+	}
+}
+
+// Node returns the node this runtime manages.
+func (rt *Runtime) Node() *cluster.Node { return rt.node }
+
+// HasImage reports whether the named image is in the local store.
+func (rt *Runtime) HasImage(name string) bool {
+	_, ok := rt.images[name]
+	return ok
+}
+
+// Live returns the number of containers created and not yet removed.
+func (rt *Runtime) Live() int { return len(rt.containers) }
+
+// CreatedTotal returns the lifetime count of containers created — the
+// metric that separates Docker-per-task from serverless reuse.
+func (rt *Runtime) CreatedTotal() int { return rt.createdTotal }
+
+// RemovedTotal returns the lifetime count of containers removed.
+func (rt *Runtime) RemovedTotal() int { return rt.removedTotal }
+
+// PullImage fetches the named image from the registry, transferring only
+// layers absent from this node's cache, and records it in the local store.
+func (rt *Runtime) PullImage(p *sim.Proc, name string) error {
+	if rt.HasImage(name) {
+		return nil
+	}
+	img, ok := rt.reg.Image(name)
+	if !ok {
+		return fmt.Errorf("crt: %s: image %q not in registry", rt.node.Name, name)
+	}
+	var missing []registry.Layer
+	for _, l := range img.Layers {
+		if !rt.layers[l.Digest] {
+			missing = append(missing, l)
+		}
+	}
+	if err := rt.reg.PullLayers(p, rt.node.Name, img, missing); err != nil {
+		return err
+	}
+	for _, l := range img.Layers {
+		rt.layers[l.Digest] = true
+	}
+	rt.images[name] = img
+	return nil
+}
+
+// ImportImage models `docker load` of an image file already present on the
+// node (Pegasus's container universe ships the image as a job input file):
+// the unpack work is charged against the node's shared load bandwidth, so
+// concurrent jobs importing on the same node contend — a significant part of
+// the traditional-container path's poor parallel scaling.
+func (rt *Runtime) ImportImage(p *sim.Proc, img registry.Image) {
+	rt.loader.Run(p, float64(img.Bytes()), 0)
+	for _, l := range img.Layers {
+		rt.layers[l.Digest] = true
+	}
+	rt.images[img.Name] = img
+}
+
+// Container is one container instance on a node.
+type Container struct {
+	ID       int
+	Image    string
+	CapCores float64
+	rt       *Runtime
+	state    State
+	execs    int
+}
+
+// State returns the container's lifecycle state.
+func (c *Container) State() State { return c.state }
+
+// Execs returns how many tasks this container has served — >1 means reuse.
+func (c *Container) Execs() int { return c.execs }
+
+// Node returns the node hosting the container.
+func (c *Container) Node() *cluster.Node { return c.rt.node }
+
+// Create provisions a container from a locally available image, charging
+// the create overhead. capCores > 0 applies a cgroup CPU quota to
+// everything later executed in the container; 0 leaves it uncapped.
+func (rt *Runtime) Create(p *sim.Proc, image string, capCores float64) (*Container, error) {
+	if !rt.HasImage(image) {
+		return nil, fmt.Errorf("crt: %s: create: image %q not present", rt.node.Name, image)
+	}
+	p.Sleep(rt.params.ContainerCreate)
+	c := &Container{ID: rt.nextID, Image: image, CapCores: capCores, rt: rt, state: StateCreated}
+	rt.nextID++
+	rt.containers[c.ID] = c
+	rt.createdTotal++
+	return c, nil
+}
+
+// Start transitions the container to running, charging the start overhead.
+func (c *Container) Start(p *sim.Proc) error {
+	if c.state != StateCreated {
+		return fmt.Errorf("crt: start: container %d is %v", c.ID, c.state)
+	}
+	p.Sleep(c.rt.params.ContainerStart)
+	c.state = StateRunning
+	return nil
+}
+
+// Exec runs work core-seconds inside the container on the node's CPU and
+// blocks until the work completes. The paper's tasks (single-threaded
+// python matmul) can use at most one core, so the effective rate cap is
+// min(1, cgroup quota). The same quota also acts as the container's CPU
+// reservation (cgroup shares), so containerized work is shielded from
+// noisy neighbours — the isolation half of the paper's trade-off. Floors
+// scale down when a node's reservations are oversubscribed.
+func (c *Container) Exec(p *sim.Proc, work float64) error {
+	if c.state != StateRunning {
+		return fmt.Errorf("crt: exec: container %d is %v", c.ID, c.state)
+	}
+	c.execs++
+	rate := 1.0
+	if c.CapCores > 0 && c.CapCores < rate {
+		rate = c.CapCores
+	}
+	floor := 0.0
+	if c.CapCores > 0 {
+		floor = rate
+	}
+	c.rt.node.ExecReserved(p, work, rate, floor)
+	return nil
+}
+
+// StopRemove stops and removes the container, charging the teardown
+// overhead.
+func (c *Container) StopRemove(p *sim.Proc) error {
+	if c.state == StateRemoved {
+		return fmt.Errorf("crt: remove: container %d already removed", c.ID)
+	}
+	p.Sleep(c.rt.params.ContainerStopRemove)
+	c.state = StateRemoved
+	delete(c.rt.containers, c.ID)
+	c.rt.removedTotal++
+	return nil
+}
+
+// DockerRun is the `docker run --rm` path of the Fig. 1 motivation
+// experiment: CLI round trip, create, start, execute one task, teardown.
+func (rt *Runtime) DockerRun(p *sim.Proc, image string, work, capCores float64) error {
+	p.Sleep(rt.params.DockerCLI)
+	c, err := rt.Create(p, image, capCores)
+	if err != nil {
+		return err
+	}
+	if err := c.Start(p); err != nil {
+		return err
+	}
+	if err := c.Exec(p, work); err != nil {
+		return err
+	}
+	return c.StopRemove(p)
+}

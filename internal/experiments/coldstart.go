@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/knative"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// ColdStartResult compares a scale-from-zero invocation with a warm one —
+// the 1.48 s annotation of Fig. 1.
+type ColdStartResult struct {
+	ColdSecs float64
+	WarmSecs float64
+	// ColdPrePulled separates the image-staged cold start (the paper's
+	// number) from a fully cold node that must pull the image first.
+	ColdNoImageSecs float64
+}
+
+// ColdStart measures the three latencies, averaged over o.Reps seeds.
+func ColdStart(o Options) ColdStartResult {
+	var res ColdStartResult
+	for r := 0; r < o.Reps; r++ {
+		seed := o.Seed + uint64(r)
+		cold, warm := coldStartOnce(seed, o, true)
+		coldNoImg, _ := coldStartOnce(seed, o, false)
+		res.ColdSecs += cold
+		res.WarmSecs += warm
+		res.ColdNoImageSecs += coldNoImg
+	}
+	reps := float64(o.Reps)
+	res.ColdSecs /= reps
+	res.WarmSecs /= reps
+	res.ColdNoImageSecs /= reps
+	return res
+}
+
+func coldStartOnce(seed uint64, o Options, prePull bool) (coldSecs, warmSecs float64) {
+	s := core.NewStack(seed, o.Prm)
+	s.RegisterTransformation(workload.MatmulTransformation, o.Prm.ImageLayersBytes[len(o.Prm.ImageLayersBytes)-1])
+	s.Env.Go("main", func(p *sim.Proc) {
+		policy := core.DeployPolicy{
+			InitialScale:         0,
+			ContainerConcurrency: 8,
+			PrePullAllNodes:      prePull,
+			CapCores:             1,
+		}
+		if err := s.DeployFunction(p, workload.MatmulTransformation, policy); err != nil {
+			panic(err)
+		}
+		svc, _ := s.Service(workload.MatmulTransformation)
+		req := knative.Request{From: cluster.SubmitNodeName, Work: 0}
+		t0 := p.Now()
+		if _, err := svc.Invoke(p, req); err != nil {
+			panic(err)
+		}
+		coldSecs = (p.Now() - t0).Seconds()
+		t0 = p.Now()
+		if _, err := svc.Invoke(p, req); err != nil {
+			panic(err)
+		}
+		warmSecs = (p.Now() - t0).Seconds()
+		s.Shutdown()
+	})
+	s.Env.Run()
+	return coldSecs, warmSecs
+}
+
+// WriteTable renders the comparison.
+func (r ColdStartResult) WriteTable(w io.Writer) error {
+	tbl := metrics.NewTable("path", "latency_s")
+	tbl.AddRow("cold (image staged)", r.ColdSecs)
+	tbl.AddRow("cold (image pull included)", r.ColdNoImageSecs)
+	tbl.AddRow("warm (container reused)", r.WarmSecs)
+	if err := tbl.Write(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "\npaper reference: 1.48s cold start (Fig. 1)\n")
+	return err
+}

@@ -1,0 +1,36 @@
+// Package experiments regenerates every figure of the paper's evaluation:
+// one driver per figure returns the numeric series the paper plots, plus the
+// derived quantities it reports (regression slopes, speedups, the cold-start
+// number). cmd/repro prints them; bench_test.go wraps them as benchmarks.
+package experiments
+
+import (
+	"repro/internal/config"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Prm are the model parameters (config.Default for the paper setup).
+	Prm config.Params
+	// Seed is the base random seed; repetition r uses Seed+r.
+	Seed uint64
+	// Reps is the number of seeded repetitions averaged per reported
+	// number (the paper averages over repeated runs, §V-D).
+	Reps int
+	// Quick shrinks sweeps for use under `go test` and testing.B; the
+	// full-size sweep is used by cmd/repro.
+	Quick bool
+}
+
+// DefaultOptions returns the full-size configuration used by cmd/repro.
+func DefaultOptions() Options {
+	return Options{Prm: config.Default(), Seed: 1, Reps: config.Default().Repetitions}
+}
+
+// QuickOptions returns a down-scaled configuration for tests and benches.
+func QuickOptions() Options {
+	o := DefaultOptions()
+	o.Reps = 2
+	o.Quick = true
+	return o
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/wms"
+)
+
+func TestDataMovementShape(t *testing.T) {
+	res := DataMovement(QuickOptions())
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byKey := map[string]DataMovementRow{}
+	for _, row := range res.Rows {
+		byKey[row.Mode.String()+"/"+row.Staging.String()] = row
+	}
+	cont := byKey["container/by-value"]
+	nat := byKey["native/by-value"]
+	slsVal := byKey["serverless/by-value"]
+	slsFS := byKey["serverless/shared-fs"]
+	slsOS := byKey["serverless/object-store"]
+
+	// The container path ships the image with every job: far more traffic.
+	if cont.SubmitTxMB < 10*nat.SubmitTxMB {
+		t.Errorf("container tx %.1fMB not ≫ native %.1fMB", cont.SubmitTxMB, nat.SubmitTxMB)
+	}
+	// §IV-4 redundant movement: by-value serverless moves more total data
+	// than the shared-fs alternative (submit → wrapper → pod).
+	if slsVal.TotalMB <= slsFS.TotalMB {
+		t.Errorf("by-value total %.1fMB not > shared-fs %.1fMB", slsVal.TotalMB, slsFS.TotalMB)
+	}
+	// Shared-fs staging also shaves the codec cost off the makespan.
+	if slsFS.Makespan > slsVal.Makespan {
+		t.Errorf("shared-fs makespan %.1fs slower than by-value %.1fs", slsFS.Makespan, slsVal.Makespan)
+	}
+	// The object store behaves like the share: one hop, no marshalling tax.
+	if slsOS.TotalMB >= slsVal.TotalMB {
+		t.Errorf("object-store total %.1fMB not < by-value %.1fMB", slsOS.TotalMB, slsVal.TotalMB)
+	}
+	var sb strings.Builder
+	if err := res.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResizingTradeoff(t *testing.T) {
+	res := Resizing(QuickOptions())
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Quick mode compares split 1 vs 4: splitting a heavy task must help.
+	if res.Rows[1].Makespan >= res.Rows[0].Makespan {
+		t.Errorf("split 4 (%.1fs) not faster than split 1 (%.1fs)", res.Rows[1].Makespan, res.Rows[0].Makespan)
+	}
+	for _, row := range res.Rows {
+		if row.Tasks != 5*row.Split {
+			t.Errorf("split %d has %d tasks", row.Split, row.Tasks)
+		}
+	}
+	var sb strings.Builder
+	if err := res.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRedirectionAvoidsHotNode(t *testing.T) {
+	res := Redirection(QuickOptions())
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	lr, lnl := res.Rows[0], res.Rows[1]
+	if lr.Policy != "least-requests" || lnl.Policy != "least-node-load" {
+		t.Fatalf("row order: %v", res.Rows)
+	}
+	if lnl.MeanSec >= lr.MeanSec {
+		t.Errorf("load-aware mean %.3fs not better than default %.3fs", lnl.MeanSec, lr.MeanSec)
+	}
+	if lnl.P95Sec > lr.P95Sec {
+		t.Errorf("load-aware p95 %.3fs worse than default %.3fs", lnl.P95Sec, lr.P95Sec)
+	}
+	var sb strings.Builder
+	if err := res.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusteringAmortisesScheduling(t *testing.T) {
+	res := Clustering(QuickOptions())
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	unclustered, clustered := res.Rows[0], res.Rows[1]
+	if clustered.Makespan >= unclustered.Makespan {
+		t.Errorf("clustered %.1fs not faster than unclustered %.1fs", clustered.Makespan, unclustered.Makespan)
+	}
+	if clustered.Jobs >= unclustered.Jobs {
+		t.Errorf("clustering did not reduce job count: %d vs %d", clustered.Jobs, unclustered.Jobs)
+	}
+	var sb strings.Builder
+	if err := res.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMontageComplexWorkflowOrdering(t *testing.T) {
+	res := Montage(QuickOptions())
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byMode := map[wms.Mode]MontageRow{}
+	for _, row := range res.Rows {
+		byMode[row.Mode] = row
+		if row.Tasks != 14 { // 4 tiles: 4+3+1+1+4+1
+			t.Errorf("%v tasks = %d, want 14", row.Mode, row.Tasks)
+		}
+	}
+	native := byMode[wms.ModeNative].Makespan
+	sls := byMode[wms.ModeServerless].Makespan
+	cont := byMode[wms.ModeContainer].Makespan
+	if !(native <= sls && native < cont) {
+		t.Errorf("mode ordering broken on complex workflow: native %.1f, serverless %.1f, container %.1f", native, sls, cont)
+	}
+	var sb strings.Builder
+	if err := res.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsolationQuantified(t *testing.T) {
+	o := QuickOptions()
+	o.Reps = 1
+	res := Isolation(o)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byMode := map[wms.Mode]IsolationRow{}
+	for _, row := range res.Rows {
+		byMode[row.Mode] = row
+	}
+	native := byMode[wms.ModeNative]
+	if native.Slowdown < 1.5 {
+		t.Errorf("native slowdown = %.2f, want substantial (no isolation)", native.Slowdown)
+	}
+	for _, m := range []wms.Mode{wms.ModeContainer, wms.ModeServerless} {
+		row := byMode[m]
+		if row.Slowdown > 1.05 {
+			t.Errorf("%v slowdown = %.2f, want ≈1.0 (cgroup reservation)", m, row.Slowdown)
+		}
+	}
+	var sb strings.Builder
+	if err := res.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixStringFormat(t *testing.T) {
+	m := Mix{Native: 0.5, Serverless: 0.5}
+	if m.String() != "0.50/0.00/0.50" {
+		t.Errorf("String = %q", m.String())
+	}
+	_ = wms.ModeNative // keep the import meaningful if assertions change
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/crt"
+	"repro/internal/knative"
+	"repro/internal/kube"
+	"repro/internal/metrics"
+	"repro/internal/registry"
+	"repro/internal/sim"
+)
+
+// Fig1Row is one x-position of Fig. 1: total time to run `Tasks` sequential
+// matrix multiplications under each container-management strategy.
+type Fig1Row struct {
+	Tasks        int
+	DockerSecs   float64
+	KnativeSecs  float64
+	DockerPerTk  float64
+	KnativePerTk float64
+}
+
+// Fig1Result is the full figure: the series, the regression fits the paper
+// annotates, and the measured cold start (1.48 s in the paper).
+type Fig1Result struct {
+	Rows          []Fig1Row
+	DockerFit     metrics.Fit
+	KnativeFit    metrics.Fit
+	ColdStartSecs float64
+	// SpeedupPct is the slope-based reduction in per-task time
+	// ("up to 30%" in the paper).
+	SpeedupPct float64
+}
+
+const fig1Image = "matmul-img"
+
+// Fig1 reproduces the container-reuse motivation experiment (§III-B):
+// docker runs every task in a fresh container from the CLI; knative sends
+// sequential HTTP requests to a service that reuses one warm container.
+func Fig1(o Options) Fig1Result {
+	sizes := []int{20, 40, 60, 80, 100, 120, 140, 160}
+	if o.Quick {
+		sizes = []int{20, 60, 100}
+	}
+	var res Fig1Result
+	for _, n := range sizes {
+		var dSum, kSum, cSum float64
+		for r := 0; r < o.Reps; r++ {
+			seed := o.Seed + uint64(r)
+			d := fig1Docker(seed, o.Prm, n)
+			k, cold := fig1Knative(seed, o.Prm, n)
+			dSum += d.Seconds()
+			kSum += k.Seconds()
+			cSum += cold.Seconds()
+		}
+		reps := float64(o.Reps)
+		row := Fig1Row{
+			Tasks:       n,
+			DockerSecs:  dSum / reps,
+			KnativeSecs: kSum / reps,
+		}
+		row.DockerPerTk = row.DockerSecs / float64(n)
+		row.KnativePerTk = row.KnativeSecs / float64(n)
+		res.Rows = append(res.Rows, row)
+		res.ColdStartSecs = cSum / reps
+	}
+	xs := make([]float64, len(res.Rows))
+	dy := make([]float64, len(res.Rows))
+	ky := make([]float64, len(res.Rows))
+	for i, row := range res.Rows {
+		xs[i] = float64(row.Tasks)
+		dy[i] = row.DockerSecs
+		ky[i] = row.KnativeSecs
+	}
+	res.DockerFit, _ = metrics.LinearFit(xs, dy)
+	res.KnativeFit, _ = metrics.LinearFit(xs, ky)
+	if res.DockerFit.Slope > 0 {
+		res.SpeedupPct = 100 * (1 - res.KnativeFit.Slope/res.DockerFit.Slope)
+	}
+	return res
+}
+
+// fig1Docker: n sequential `docker run` invocations on one worker, image
+// already local (the overhead measured is container create/destroy, not
+// pulls).
+func fig1Docker(seed uint64, prm config.Params, n int) time.Duration {
+	env := sim.NewEnv(seed)
+	cl := cluster.New(env, prm)
+	reg := registry.New(cl.Net)
+	reg.Push(registry.NewImage(fig1Image, prm.ImageLayersBytes[:1], prm.ImageLayersBytes[1]))
+	rt := crt.New(env, cl.Workers[0], reg, prm)
+
+	var total time.Duration
+	env.Go("docker-cli", func(p *sim.Proc) {
+		if err := rt.PullImage(p, fig1Image); err != nil {
+			panic(err)
+		}
+		start := p.Now()
+		for i := 0; i < n; i++ {
+			if err := rt.DockerRun(p, fig1Image, cl.NextTaskWork(), 0); err != nil {
+				panic(err)
+			}
+		}
+		total = p.Now() - start
+	})
+	env.Run()
+	return total
+}
+
+// fig1Knative: n sequential HTTP invocations against a service scaled from
+// zero — the first request cold-starts (the paper's 1.48 s annotation), the
+// rest reuse the warm container.
+func fig1Knative(seed uint64, prm config.Params, n int) (total, cold time.Duration) {
+	env := sim.NewEnv(seed)
+	cl := cluster.New(env, prm)
+	reg := registry.New(cl.Net)
+	reg.Push(registry.NewImage(fig1Image, prm.ImageLayersBytes[:1], prm.ImageLayersBytes[1]))
+	rts := crt.NewSet(env, cl, reg, prm)
+	k := kube.New(env, cl, rts, prm)
+	k.Start()
+	kn := knative.New(env, cl, k, prm)
+
+	env.Go("client", func(p *sim.Proc) {
+		// Image staged on workers ("input data was stored on the node").
+		for _, w := range k.Workers() {
+			if err := k.Runtime(w).PullImage(p, fig1Image); err != nil {
+				panic(err)
+			}
+		}
+		svc, err := kn.Deploy(p, knative.ServiceSpec{
+			Name:                 "matmul",
+			Image:                fig1Image,
+			ContainerConcurrency: 8,
+			CPURequest:           1,
+			MemMB:                512,
+			CapCores:             1,
+			AppInit:              prm.ColdStartAppInit,
+		})
+		if err != nil {
+			panic(err)
+		}
+		start := p.Now()
+		for i := 0; i < n; i++ {
+			t0 := p.Now()
+			// §III-B setup: "the input data was stored on the node" — the
+			// HTTP event only triggers the task, it does not carry matrices
+			// by value (that strategy arrives with the §IV integration).
+			resp, err := svc.Invoke(p, knative.Request{
+				From:       cluster.SubmitNodeName,
+				PayloadIn:  256,
+				PayloadOut: 256,
+				Work:       cl.NextTaskWork(),
+			})
+			if err != nil {
+				panic(err)
+			}
+			if resp.Cold {
+				cold = p.Now() - t0 - durationFromWork(prm.TaskWork(i)) // startup share of the cold request
+			}
+		}
+		total = p.Now() - start
+		kn.Shutdown()
+		k.Shutdown()
+	})
+	env.Run()
+	return total, cold
+}
+
+func durationFromWork(coreSeconds float64) time.Duration {
+	return time.Duration(coreSeconds * float64(time.Second))
+}
+
+// WriteTable renders the figure's series and annotations.
+func (r Fig1Result) WriteTable(w io.Writer) error {
+	tbl := metrics.NewTable("tasks", "docker_total_s", "knative_total_s", "docker_per_task_s", "knative_per_task_s")
+	for _, row := range r.Rows {
+		tbl.AddRow(row.Tasks, row.DockerSecs, row.KnativeSecs, row.DockerPerTk, row.KnativePerTk)
+	}
+	if err := tbl.Write(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"\ndocker fit:  %v\nknative fit: %v\ncold start:  %.2fs (paper: 1.48s)\nslope-based reduction: %.1f%% (paper: up to 30%%)\n",
+		r.DockerFit, r.KnativeFit, r.ColdStartSecs, r.SpeedupPct)
+	return err
+}

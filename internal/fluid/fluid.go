@@ -1,0 +1,239 @@
+// Package fluid models capacity shared among concurrent jobs as a fluid
+// (processor-sharing) server with max-min fairness and optional per-job rate
+// caps.
+//
+// One abstraction covers the three contended resources in the reproduction:
+//
+//   - a node's CPU: capacity = cores, job work = core-seconds, a cgroup CPU
+//     quota becomes a per-job cap — this is exactly the performance-isolation
+//     mechanism the paper trades against execution time;
+//   - a network link: capacity = bytes/second, job work = bytes transferred;
+//   - a disk: capacity = bytes/second of I/O bandwidth.
+//
+// Rates are recomputed on every arrival and departure (an event-driven fluid
+// approximation, standard in HPC and network simulators): each uncapped job
+// receives an equal share of the remaining capacity, capped jobs receive at
+// most their cap, and capacity unused by capped jobs is redistributed
+// (water-filling).
+package fluid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// epsilon below which remaining work counts as finished, in work units.
+const eps = 1e-7
+
+// Server is a fluid-shared resource. Create one with New; all methods must
+// be called from simulation context.
+type Server struct {
+	env      *sim.Env
+	name     string
+	capacity float64
+	jobs     []*job
+	nextSeq  uint64
+	timer    *sim.Timer
+	last     time.Duration
+	served   float64 // total work completed, for accounting
+}
+
+type job struct {
+	seq       uint64
+	remaining float64
+	cap       float64 // max rate; 0 means uncapped
+	floor     float64 // guaranteed rate (cgroup reservation); 0 means none
+	rate      float64
+	done      *sim.Future[struct{}]
+}
+
+// New returns a fluid server with the given capacity in work units per
+// second. It panics if capacity is not positive.
+func New(env *sim.Env, name string, capacity float64) *Server {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("fluid: capacity %v must be positive", capacity))
+	}
+	return &Server{env: env, name: name, capacity: capacity}
+}
+
+// Capacity returns the server's total capacity in work units per second.
+func (s *Server) Capacity() float64 { return s.capacity }
+
+// Load returns the number of jobs currently in service.
+func (s *Server) Load() int { return len(s.jobs) }
+
+// Served returns the total work completed so far.
+func (s *Server) Served() float64 {
+	s.advance()
+	return s.served
+}
+
+// Rate returns the aggregate service rate currently in use.
+func (s *Server) Rate() float64 {
+	total := 0.0
+	for _, j := range s.jobs {
+		total += j.rate
+	}
+	return total
+}
+
+// Run serves `work` units for the calling process, sharing the server with
+// every other concurrent job, and blocks until the work completes. maxRate
+// caps the job's service rate (0 = uncapped): a containerized task with a
+// one-core cgroup quota runs with maxRate 1 on a CPU server whose capacity
+// is the node's core count.
+func (s *Server) Run(p *sim.Proc, work float64, maxRate float64) {
+	s.RunReserved(p, work, maxRate, 0)
+}
+
+// RunReserved is Run with a guaranteed floor rate — the cgroup reservation
+// that makes containerized tasks immune to noisy neighbours (the paper's
+// performance-isolation property). When the sum of floors exceeds the
+// server's capacity, floors scale down proportionally (reservation
+// oversubscription); leftover capacity above the floors is distributed
+// max-min as in Run.
+func (s *Server) RunReserved(p *sim.Proc, work, maxRate, floor float64) {
+	if work <= 0 {
+		return
+	}
+	if maxRate < 0 || floor < 0 {
+		panic("fluid: negative rate cap or floor")
+	}
+	if maxRate > 0 && floor > maxRate {
+		floor = maxRate
+	}
+	s.advance()
+	j := &job{seq: s.nextSeq, remaining: work, cap: maxRate, floor: floor, done: sim.NewFuture[struct{}](s.env)}
+	s.nextSeq++
+	s.jobs = append(s.jobs, j)
+	s.reschedule()
+	j.done.Get(p)
+}
+
+// advance charges elapsed virtual time against every active job at its
+// current rate.
+func (s *Server) advance() {
+	now := s.env.Now()
+	dt := (now - s.last).Seconds()
+	s.last = now
+	if dt <= 0 {
+		return
+	}
+	for _, j := range s.jobs {
+		done := j.rate * dt
+		if done > j.remaining {
+			done = j.remaining
+		}
+		j.remaining -= done
+		s.served += done
+	}
+}
+
+// recompute assigns rates: guaranteed floors first (scaled down
+// proportionally if over-reserved), then the remaining capacity max-min
+// fair over each job's residual headroom via water-filling.
+func (s *Server) recompute() {
+	n := len(s.jobs)
+	if n == 0 {
+		return
+	}
+	// Phase 1: floors. Scale proportionally when the server is
+	// over-reserved.
+	totalFloor := 0.0
+	for _, j := range s.jobs {
+		totalFloor += j.floor
+	}
+	floorScale := 1.0
+	if totalFloor > s.capacity {
+		floorScale = s.capacity / totalFloor
+	}
+	remCap := s.capacity
+	for _, j := range s.jobs {
+		j.rate = j.floor * floorScale
+		remCap -= j.rate
+	}
+	if remCap <= 0 {
+		return
+	}
+	// Phase 2: distribute the remainder max-min over residual headroom
+	// (cap - floor; uncapped jobs have unlimited headroom). Ascending
+	// headroom first, stable on insertion sequence for determinism.
+	order := make([]*job, n)
+	copy(order, s.jobs)
+	headroom := func(j *job) (h float64, bounded bool) {
+		if j.cap == 0 {
+			return 0, false
+		}
+		return j.cap - j.rate, true
+	}
+	sort.SliceStable(order, func(i, k int) bool {
+		hi, bi := headroom(order[i])
+		hk, bk := headroom(order[k])
+		if bi != bk {
+			return bi // bounded headroom before unbounded
+		}
+		if bi && hi != hk {
+			return hi < hk
+		}
+		return order[i].seq < order[k].seq
+	})
+	remJobs := n
+	for _, j := range order {
+		fair := remCap / float64(remJobs)
+		extra := fair
+		if h, bounded := headroom(j); bounded && h < extra {
+			extra = h
+		}
+		j.rate += extra
+		remCap -= extra
+		remJobs--
+	}
+}
+
+// reschedule recomputes rates and (re)arms the completion timer for the
+// earliest-finishing job.
+func (s *Server) reschedule() {
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	s.recompute()
+	next := math.Inf(1)
+	for _, j := range s.jobs {
+		if j.rate <= 0 {
+			continue
+		}
+		if t := j.remaining / j.rate; t < next {
+			next = t
+		}
+	}
+	if math.IsInf(next, 1) {
+		return
+	}
+	d := time.Duration(next * float64(time.Second))
+	if d < time.Nanosecond {
+		d = time.Nanosecond
+	}
+	s.timer = s.env.After(d, s.complete)
+}
+
+// complete fires when the earliest job should have drained; it settles
+// accounts, wakes finished jobs, and rearms.
+func (s *Server) complete() {
+	s.timer = nil
+	s.advance()
+	kept := s.jobs[:0]
+	for _, j := range s.jobs {
+		if j.remaining <= eps {
+			j.done.Set(struct{}{})
+		} else {
+			kept = append(kept, j)
+		}
+	}
+	s.jobs = kept
+	s.reschedule()
+}

@@ -1,0 +1,154 @@
+package httpfn
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/matrix"
+	"repro/internal/sim"
+)
+
+func startServer(t *testing.T, appInit time.Duration) (*Server, string) {
+	t.Helper()
+	srv := NewServer(appInit)
+	base, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, base
+}
+
+func randMat(seed uint64, n int) *matrix.Matrix {
+	rng := sim.NewRNG(seed)
+	m := matrix.New(n, n)
+	m.Rand(rng.Uint64, -100, 100)
+	return m
+}
+
+func TestInvokeComputesProduct(t *testing.T) {
+	srv, base := startServer(t, 0)
+	var c Client
+	a, b := randMat(1, 30), randMat(2, 30)
+	got, err := c.Invoke(base, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(a.Mul(b)) {
+		t.Error("HTTP product differs from local product")
+	}
+	if srv.Invocations() != 1 {
+		t.Errorf("Invocations = %d", srv.Invocations())
+	}
+}
+
+func TestContainerReuseAcrossTasks(t *testing.T) {
+	srv, base := startServer(t, 0)
+	var c Client
+	cur := randMat(3, 20)
+	b := randMat(4, 20)
+	for i := 0; i < 5; i++ {
+		next, err := c.Invoke(base, cur, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = next
+	}
+	if srv.Invocations() != 5 {
+		t.Errorf("Invocations = %d, want 5 through one warm server", srv.Invocations())
+	}
+}
+
+func TestShapeMismatchRejected(t *testing.T) {
+	_, base := startServer(t, 0)
+	var c Client
+	a := randMat(5, 4)
+	b := randMat(6, 7)
+	if _, err := c.Invoke(base, a, b); err == nil || !strings.Contains(err.Error(), "shape mismatch") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestHealthzAndColdInit(t *testing.T) {
+	_, base := startServer(t, 300*time.Millisecond)
+	var c Client
+	if c.Healthy(base) {
+		t.Error("server healthy before app init finished")
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for !c.Healthy(base) {
+		if time.Now().After(deadline) {
+			t.Fatal("server never became healthy")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestInvokeDuringInitRejected(t *testing.T) {
+	_, base := startServer(t, 2*time.Second)
+	var c Client
+	if _, err := c.Invoke(base, randMat(7, 5), randMat(8, 5)); err == nil {
+		t.Error("invocation during init succeeded")
+	}
+}
+
+func TestBalancerRoundRobin(t *testing.T) {
+	srv1, base1 := startServer(t, 0)
+	srv2, base2 := startServer(t, 0)
+	lb := NewBalancer(base1, base2)
+	a, b := randMat(9, 10), randMat(10, 10)
+	for i := 0; i < 6; i++ {
+		if _, err := lb.Invoke(a, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv1.Invocations() != 3 || srv2.Invocations() != 3 {
+		t.Errorf("distribution = %d/%d, want 3/3", srv1.Invocations(), srv2.Invocations())
+	}
+}
+
+func TestConcurrentInvocations(t *testing.T) {
+	srv, base := startServer(t, 0)
+	a, b := randMat(11, 40), randMat(12, 40)
+	want := a.Mul(b)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var c Client
+			got, err := c.Invoke(base, a, b)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !got.Equal(want) {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if srv.Invocations() != 8 {
+		t.Errorf("Invocations = %d", srv.Invocations())
+	}
+}
+
+func TestGetInvokeRejected(t *testing.T) {
+	_, base := startServer(t, 0)
+	var c Client
+	resp, err := c.HTTP.Get(base + "/invoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Errorf("GET /invoke = %d, want 405", resp.StatusCode)
+	}
+}

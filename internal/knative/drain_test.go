@@ -1,0 +1,113 @@
+package knative
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestServiceSurvivesNodeDrain: a node under maintenance is drained; the
+// autoscaler replaces the killed replicas on the remaining nodes and the
+// service keeps serving.
+func TestServiceSurvivesNodeDrain(t *testing.T) {
+	f := newFixture(t)
+	var servedAfter int
+	var drainedNode string
+	f.env.Go("main", func(p *sim.Proc) {
+		defer f.kn.Shutdown()
+		f.prePull(p)
+		spec := baseSpec()
+		spec.MinScale = 3
+		spec.InitialScale = 3
+		svc, err := f.kn.Deploy(p, spec)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Drain the node hosting the first replica.
+		drainedNode = f.cl.Workers[0].Name
+		evicted := f.k.DrainNode(drainedNode)
+		if evicted == 0 {
+			t.Error("drain evicted nothing")
+		}
+		// The autoscaler needs a tick to notice and replace the pods.
+		p.Sleep(4 * f.prm.AutoscalerTick)
+		if n := svc.ReadyPods(); n < 3 {
+			t.Errorf("ReadyPods = %d after drain+recovery, want min-scale 3", n)
+		}
+		// Replacement pods must avoid the cordoned node.
+		for i := 0; i < 6; i++ {
+			resp, err := svc.Invoke(p, req(0.1))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if resp.PodNode == drainedNode {
+				t.Errorf("request served on drained node %s", drainedNode)
+			}
+			servedAfter++
+		}
+	})
+	f.env.RunUntil(10 * time.Minute)
+	if servedAfter != 6 {
+		t.Fatalf("served %d requests after drain", servedAfter)
+	}
+	if f.k.PodsOnNode(drainedNode) != 0 {
+		t.Errorf("pods remain on drained node")
+	}
+}
+
+// TestUncordonRestoresScheduling: after uncordon, new pods may land on the
+// node again.
+func TestUncordonRestoresScheduling(t *testing.T) {
+	f := newFixture(t)
+	f.env.Go("main", func(p *sim.Proc) {
+		defer f.kn.Shutdown()
+		f.prePull(p)
+		name := f.cl.Workers[0].Name
+		f.k.CordonNode(name)
+		spec := baseSpec()
+		spec.MinScale = 3
+		spec.InitialScale = 3
+		svc, err := f.kn.Deploy(p, spec)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for _, h := range svcPods(svc) {
+			if h == name {
+				t.Errorf("pod scheduled on cordoned node")
+			}
+		}
+		f.k.UncordonNode(name)
+		spec2 := baseSpec()
+		spec2.Name = "matmul2"
+		spec2.MinScale = 3
+		spec2.InitialScale = 3
+		svc2, err := f.kn.Deploy(p, spec2)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		found := false
+		for _, n := range svcPods(svc2) {
+			if n == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("no pod landed on uncordoned node")
+		}
+	})
+	f.env.Run()
+}
+
+// svcPods lists the nodes of a service's current replicas.
+func svcPods(svc *Service) []string {
+	var nodes []string
+	for _, h := range svc.pods {
+		nodes = append(nodes, h.pod.NodeName)
+	}
+	return nodes
+}

@@ -1,0 +1,123 @@
+package knative
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// This file models Knative Eventing (§II-B: "with components like Serving
+// and Eventing, Knative offers ... flexible event management"): a broker on
+// the control-plane node routes CloudEvents-like records to subscribed
+// triggers. The integration layer uses it to make workflows *dynamic* —
+// submitted in response to events such as data arrival — rather than only
+// batch-submitted (the paper's title emphasis).
+
+// Event is a CloudEvents-style record.
+type Event struct {
+	// Type is the reverse-DNS event type triggers filter on
+	// (e.g. "dev.repro.file.arrived").
+	Type string
+	// Source identifies the producer.
+	Source string
+	// Subject names the entity the event concerns (e.g. an LFN).
+	Subject string
+	// DataBytes is the payload size carried with the event.
+	DataBytes int64
+	// At is stamped by the broker on acceptance.
+	At time.Duration
+}
+
+// Handler consumes a delivered event. It runs in its own simulation
+// process, so it may block (invoke functions, run workflows).
+type Handler func(p *sim.Proc, ev Event)
+
+// Trigger subscribes a handler to events of one type ("" matches all).
+type Trigger struct {
+	Name      string
+	TypeMatch string
+	Handler   Handler
+
+	Delivered int
+}
+
+func (tr *Trigger) matches(ev Event) bool {
+	return tr.TypeMatch == "" || tr.TypeMatch == ev.Type
+}
+
+// Broker is an eventing broker hosted on the control-plane node. Events
+// are accepted into a store-and-forward queue and dispatched asynchronously
+// to every matching trigger, each delivery in its own process.
+type Broker struct {
+	kn       *Knative
+	name     string
+	queue    *sim.Chan[Event]
+	triggers []*Trigger
+	accepted int
+	stopped  bool
+}
+
+// NewBroker creates a broker and starts its dispatch loop.
+func (kn *Knative) NewBroker(name string) *Broker {
+	b := &Broker{kn: kn, name: name, queue: sim.NewUnbounded[Event](kn.env)}
+	kn.brokers = append(kn.brokers, b)
+	kn.env.Go("broker-"+name, b.dispatchLoop)
+	return b
+}
+
+// Subscribe registers a trigger. typeMatch "" receives every event.
+func (b *Broker) Subscribe(name, typeMatch string, h Handler) *Trigger {
+	tr := &Trigger{Name: name, TypeMatch: typeMatch, Handler: h}
+	b.triggers = append(b.triggers, tr)
+	return tr
+}
+
+// Publish sends an event to the broker from the given node, paying the
+// ingress hop, and returns once the broker has accepted it (delivery is
+// asynchronous).
+func (b *Broker) Publish(p *sim.Proc, fromNode string, ev Event) error {
+	if b.stopped {
+		return fmt.Errorf("knative: broker %s is shut down", b.name)
+	}
+	b.kn.cl.Net.Message(p, fromNode, cluster.SubmitNodeName)
+	if ev.DataBytes > 0 {
+		b.kn.cl.Net.Transfer(p, fromNode, cluster.SubmitNodeName, ev.DataBytes)
+	}
+	ev.At = p.Now()
+	b.accepted++
+	b.queue.TrySend(ev)
+	return nil
+}
+
+// Accepted returns how many events the broker has taken in.
+func (b *Broker) Accepted() int { return b.accepted }
+
+// dispatchLoop fans each event out to matching triggers.
+func (b *Broker) dispatchLoop(p *sim.Proc) {
+	for {
+		ev, ok := b.queue.Recv(p)
+		if !ok {
+			return
+		}
+		for _, tr := range b.triggers {
+			if !tr.matches(ev) {
+				continue
+			}
+			tr.Delivered++
+			trigger, event := tr, ev
+			p.Env().Go("trigger-"+tr.Name, func(hp *sim.Proc) {
+				trigger.Handler(hp, event)
+			})
+		}
+	}
+}
+
+// shutdown closes the queue so the dispatch loop drains and exits.
+func (b *Broker) shutdown() {
+	if !b.stopped {
+		b.stopped = true
+		b.queue.Close()
+	}
+}

@@ -1,0 +1,122 @@
+package knative
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+func TestBrokerDeliversToMatchingTriggers(t *testing.T) {
+	f := newFixture(t)
+	broker := f.kn.NewBroker("default")
+	var fileEvents, allEvents []Event
+	broker.Subscribe("file-watcher", "dev.repro.file.arrived", func(p *sim.Proc, ev Event) {
+		fileEvents = append(fileEvents, ev)
+	})
+	broker.Subscribe("audit", "", func(p *sim.Proc, ev Event) {
+		allEvents = append(allEvents, ev)
+	})
+	f.env.Go("producer", func(p *sim.Proc) {
+		_ = broker.Publish(p, "worker1", Event{Type: "dev.repro.file.arrived", Subject: "a.dat"})
+		_ = broker.Publish(p, "worker2", Event{Type: "dev.repro.job.done", Subject: "j1"})
+		p.Sleep(time.Second)
+		f.kn.Shutdown()
+	})
+	f.env.Run()
+	if len(fileEvents) != 1 || fileEvents[0].Subject != "a.dat" {
+		t.Errorf("file trigger got %v", fileEvents)
+	}
+	if len(allEvents) != 2 {
+		t.Errorf("audit trigger got %d events, want 2", len(allEvents))
+	}
+	if broker.Accepted() != 2 {
+		t.Errorf("Accepted = %d", broker.Accepted())
+	}
+}
+
+func TestBrokerHandlersRunConcurrently(t *testing.T) {
+	f := newFixture(t)
+	broker := f.kn.NewBroker("default")
+	var done []time.Duration
+	broker.Subscribe("slow", "tick", func(p *sim.Proc, ev Event) {
+		p.Sleep(10 * time.Second)
+		done = append(done, p.Now())
+	})
+	f.env.Go("producer", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			_ = broker.Publish(p, cluster.SubmitNodeName, Event{Type: "tick"})
+		}
+		p.Sleep(15 * time.Second)
+		f.kn.Shutdown()
+	})
+	f.env.Run()
+	if len(done) != 3 {
+		t.Fatalf("handlers completed = %d", len(done))
+	}
+	for _, d := range done {
+		if d > 11*time.Second {
+			t.Errorf("handler finished at %v; deliveries serialized", d)
+		}
+	}
+}
+
+func TestBrokerEventPayloadChargesNetwork(t *testing.T) {
+	f := newFixture(t)
+	broker := f.kn.NewBroker("default")
+	broker.Subscribe("sink", "", func(p *sim.Proc, ev Event) {})
+	f.env.Go("producer", func(p *sim.Proc) {
+		start := p.Now()
+		_ = broker.Publish(p, "worker1", Event{Type: "big", DataBytes: 125_000_000}) // 1s at 1Gbps... worker egress is 10Gbps
+		if p.Now() == start {
+			t.Error("payload transfer was free")
+		}
+		f.kn.Shutdown()
+	})
+	f.env.Run()
+}
+
+func TestPublishAfterShutdownFails(t *testing.T) {
+	f := newFixture(t)
+	broker := f.kn.NewBroker("default")
+	f.env.Go("producer", func(p *sim.Proc) {
+		f.kn.Shutdown()
+		if err := broker.Publish(p, "worker1", Event{Type: "x"}); err == nil {
+			t.Error("publish after shutdown succeeded")
+		}
+	})
+	f.env.Run()
+}
+
+// TestEventTriggeredInvocation is the dynamic-workflow story end to end:
+// a data-arrival event triggers a function invocation through the broker.
+func TestEventTriggeredInvocation(t *testing.T) {
+	f := newFixture(t)
+	var served int
+	f.env.Go("main", func(p *sim.Proc) {
+		spec := baseSpec()
+		spec.MinScale = 1
+		svc, err := f.kn.Deploy(p, spec)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		broker := f.kn.NewBroker("default")
+		broker.Subscribe("on-data", "dev.repro.file.arrived", func(hp *sim.Proc, ev Event) {
+			if _, err := svc.Invoke(hp, req(0.42)); err == nil {
+				served++
+			}
+		})
+		for i := 0; i < 4; i++ {
+			_ = broker.Publish(p, "worker2", Event{Type: "dev.repro.file.arrived"})
+			p.Sleep(time.Second)
+		}
+		p.Sleep(10 * time.Second)
+		f.kn.Shutdown()
+	})
+	f.env.Run()
+	if served != 4 {
+		t.Errorf("event-triggered invocations = %d, want 4", served)
+	}
+}

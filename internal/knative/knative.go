@@ -1,0 +1,618 @@
+// Package knative models Knative Serving on top of the kube substrate:
+// services with revisions of pods, a KPA-style concurrency autoscaler with
+// stable and panic windows, an activator that buffers requests while scaling
+// from zero, and a per-pod queue-proxy enforcing container concurrency.
+//
+// The annotations the paper manipulates map directly onto ServiceSpec
+// fields: "autoscaling.knative.dev/min-scale" → MinScale (pre-provision
+// containers on k workers and keep them), "autoscaling.knative.dev/
+// initial-scale" → InitialScale (0 defers the image download and container
+// creation to the first invocation, the Pegasus-like behaviour of §IV-2),
+// and containerConcurrency → ContainerConcurrency (1 isolates concurrent
+// requests from each other; higher values let tasks share a warm container).
+package knative
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/kube"
+	"repro/internal/sim"
+)
+
+// AutoscalerClass selects the scaling algorithm, mirroring the
+// "autoscaling.knative.dev/class" annotation.
+type AutoscalerClass int
+
+const (
+	// ClassKPA is knative's pod autoscaler: concurrency-based with stable
+	// and panic windows, able to scale to zero (the default).
+	ClassKPA AutoscalerClass = iota
+	// ClassHPA is the kubernetes horizontal pod autoscaler: CPU-utilization
+	// based, slower cadence, no panic mode, no scale-to-zero.
+	ClassHPA
+)
+
+// RoutePolicy selects how the router picks among ready replicas.
+type RoutePolicy int
+
+const (
+	// RouteLeastRequests picks the replica with the fewest in-flight
+	// requests (knative's default behaviour).
+	RouteLeastRequests RoutePolicy = iota
+	// RouteLeastNodeLoad picks the replica whose node currently has the
+	// least CPU load — the paper's §IX-D "task redirection" extension:
+	// steer work away from overloaded nodes at invocation time.
+	RouteLeastNodeLoad
+)
+
+// ServiceSpec declares a serverless function service.
+type ServiceSpec struct {
+	// Name is the service (and route) name.
+	Name string
+	// Image is the function's container image.
+	Image string
+	// ContainerConcurrency is the hard limit of in-flight requests one pod
+	// serves at a time (0 = effectively unlimited).
+	ContainerConcurrency int
+	// Target is the autoscaler's desired average concurrency per pod
+	// (0 = platform default).
+	Target float64
+	// MinScale keeps at least this many replicas at all times
+	// ("autoscaling.knative.dev/min-scale").
+	MinScale int
+	// InitialScale is the replica count provisioned at deployment time
+	// ("autoscaling.knative.dev/initial-scale"); 0 defers all container
+	// work to the first invocation.
+	InitialScale int
+	// MaxScale bounds the replica count (0 = unbounded).
+	MaxScale int
+	// CPURequest, MemMB, and CapCores size each pod.
+	CPURequest float64
+	MemMB      int
+	CapCores   float64
+	// AppInit is the in-container startup time before readiness.
+	AppInit time.Duration
+	// Routing selects the replica-picking policy (default: least requests).
+	Routing RoutePolicy
+	// Class selects the autoscaling algorithm (default: KPA).
+	Class AutoscalerClass
+}
+
+// Request is one function invocation. File inputs travel by value in the
+// request body and results return in the response (§IV-3), so payload sizes
+// are part of the request. Alternatively the StageIn/StageOut hooks let an
+// integration fetch data on the serving node itself (e.g. from a shared
+// filesystem or object store, the §V-E alternative strategy).
+type Request struct {
+	// From is the node issuing the HTTP call.
+	From string
+	// PayloadIn is the request body size (the task's input files when
+	// passing by value; a small reference manifest otherwise).
+	PayloadIn int64
+	// PayloadOut is the response body size.
+	PayloadOut int64
+	// Work is the task's service demand in core-seconds.
+	Work float64
+	// StageIn, if set, runs on the serving replica's node before the task
+	// body (inside the concurrency gate) — e.g. reading inputs from a
+	// shared filesystem.
+	StageIn func(p *sim.Proc, node string) error
+	// StageOut, if set, runs on the serving node after the task body —
+	// e.g. writing outputs back to the shared filesystem.
+	StageOut func(p *sim.Proc, node string) error
+}
+
+// Response reports how an invocation was served.
+type Response struct {
+	// PodNode is the worker that executed the function.
+	PodNode string
+	// Cold reports whether the request waited on a scale-from-zero.
+	Cold bool
+	// Queued is how long the request waited for pod capacity.
+	Queued time.Duration
+}
+
+type podState int
+
+const (
+	podStarting podState = iota
+	podReady
+	podTerminating
+)
+
+type podHandle struct {
+	id       int
+	pod      *kube.Pod
+	state    podState
+	gate     *sim.Semaphore
+	inFlight int
+}
+
+type sample struct {
+	at  time.Duration
+	val float64
+}
+
+// Service is a deployed serverless function.
+type Service struct {
+	kn   *Knative
+	spec ServiceSpec
+
+	pods     []*podHandle
+	nextPod  int
+	rr       int // round-robin offset for tie-breaking
+	inFlight int
+	samples  []sample
+	panicEnd time.Duration
+
+	readySig *sim.Signal
+	stopped  bool
+
+	// Stats for experiments.
+	ColdStarts int
+	Requests   int
+}
+
+// Knative is the serving control plane.
+type Knative struct {
+	env *sim.Env
+	cl  *cluster.Cluster
+	k   *kube.Kube
+	prm config.Params
+
+	services []*Service
+	byName   map[string]*Service
+	brokers  []*Broker
+}
+
+// New builds a serving layer over the given kube control plane (which must
+// be started).
+func New(env *sim.Env, cl *cluster.Cluster, k *kube.Kube, prm config.Params) *Knative {
+	return &Knative{env: env, cl: cl, k: k, prm: prm, byName: make(map[string]*Service)}
+}
+
+// Deploy registers a service and blocks until its initial replicas (if any)
+// are ready — task registration happens before workflow execution (§IV-1).
+func (kn *Knative) Deploy(p *sim.Proc, spec ServiceSpec) (*Service, error) {
+	if _, dup := kn.byName[spec.Name]; dup {
+		return nil, fmt.Errorf("knative: service %q already exists", spec.Name)
+	}
+	if spec.Target <= 0 {
+		spec.Target = kn.prm.DefaultTarget
+	}
+	svc := &Service{kn: kn, spec: spec, readySig: sim.NewSignal(kn.env)}
+	kn.services = append(kn.services, svc)
+	kn.byName[spec.Name] = svc
+
+	initial := spec.InitialScale
+	if spec.MinScale > initial {
+		initial = spec.MinScale
+	}
+	for i := 0; i < initial; i++ {
+		svc.addPod()
+	}
+	// Registration is synchronous: wait for the initial replicas.
+	for _, h := range svc.pods {
+		if err := kn.k.WaitReady(p, h.pod); err != nil {
+			return nil, fmt.Errorf("knative: deploy %s: %w", spec.Name, err)
+		}
+	}
+	if spec.Class == ClassHPA {
+		kn.env.Go("hpa-"+spec.Name, svc.hpaLoop)
+	} else {
+		kn.env.Go("autoscaler-"+spec.Name, svc.autoscalerLoop)
+	}
+	return svc, nil
+}
+
+// Service returns a deployed service by name.
+func (kn *Knative) Service(name string) (*Service, bool) {
+	svc, ok := kn.byName[name]
+	return svc, ok
+}
+
+// Shutdown stops every broker and every service's autoscaler, deletes all
+// pods, and lets the simulation drain.
+func (kn *Knative) Shutdown() {
+	for _, b := range kn.brokers {
+		b.shutdown()
+	}
+	for _, svc := range kn.services {
+		svc.stopped = true
+		for _, h := range svc.pods {
+			h.state = podTerminating
+			kn.k.DeletePod(h.pod.Spec.Name)
+		}
+		svc.pods = nil
+		svc.readySig.Broadcast()
+	}
+}
+
+// Spec returns the service's declaration.
+func (s *Service) Spec() ServiceSpec { return s.spec }
+
+// ready reports whether a replica is serving. Readiness derives from the
+// kube pod itself so it is visible the moment the kubelet reports it,
+// independent of watcher scheduling.
+func (h *podHandle) ready() bool {
+	return h.state != podTerminating && h.pod.Ready()
+}
+
+// ReadyPods counts serving replicas.
+func (s *Service) ReadyPods() int {
+	n := 0
+	for _, h := range s.pods {
+		if h.ready() {
+			n++
+		}
+	}
+	return n
+}
+
+// StartingPods counts replicas still coming up.
+func (s *Service) StartingPods() int {
+	n := 0
+	for _, h := range s.pods {
+		if h.state == podStarting && !h.pod.Ready() {
+			n++
+		}
+	}
+	return n
+}
+
+// InFlight returns current concurrency (served + queued requests).
+func (s *Service) InFlight() int { return s.inFlight }
+
+// addPod creates one replica and watches it to readiness.
+func (s *Service) addPod() *podHandle {
+	cc := s.spec.ContainerConcurrency
+	if cc <= 0 {
+		cc = 1 << 20
+	}
+	name := fmt.Sprintf("%s-%05d", s.spec.Name, s.nextPod)
+	s.nextPod++
+	h := &podHandle{id: s.nextPod, gate: sim.NewSemaphore(s.kn.env, cc)}
+	pod, err := s.kn.k.CreatePod(kube.PodSpec{
+		Name:       name,
+		Image:      s.spec.Image,
+		CPURequest: s.spec.CPURequest,
+		MemMB:      s.spec.MemMB,
+		CapCores:   s.spec.CapCores,
+		AppInit:    s.spec.AppInit,
+	})
+	if err != nil {
+		panic("knative: " + err.Error())
+	}
+	h.pod = pod
+	s.pods = append(s.pods, h)
+	s.kn.env.Go("watch-"+name, func(p *sim.Proc) {
+		if err := s.kn.k.WaitReady(p, pod); err != nil {
+			s.removeHandle(h)
+			s.readySig.Broadcast() // let activator waiters re-examine
+			return
+		}
+		if h.state == podStarting {
+			h.state = podReady
+		}
+		s.readySig.Broadcast()
+	})
+	return h
+}
+
+func (s *Service) removeHandle(h *podHandle) {
+	for i, x := range s.pods {
+		if x == h {
+			s.pods = append(s.pods[:i], s.pods[i+1:]...)
+			return
+		}
+	}
+}
+
+// Invoke performs one synchronous function call: route to a replica
+// (buffering in the activator on scale-from-zero), move the input payload to
+// the replica's node, execute under the queue-proxy's concurrency gate, and
+// return the output payload.
+func (s *Service) Invoke(p *sim.Proc, req Request) (Response, error) {
+	if s.stopped {
+		return Response{}, fmt.Errorf("knative: service %s is shut down", s.spec.Name)
+	}
+	s.Requests++
+	s.inFlight++
+	defer func() { s.inFlight-- }()
+
+	kn := s.kn
+	// Ingress hop: client → route.
+	kn.cl.Net.Message(p, req.From, cluster.SubmitNodeName)
+
+	cold := false
+	if s.ReadyPods() == 0 {
+		// Activator path: ensure a replica is coming and buffer.
+		cold = true
+		s.ColdStarts++
+		if s.StartingPods() == 0 {
+			s.scaleTo(1)
+		}
+		for s.ReadyPods() == 0 {
+			if s.stopped {
+				return Response{}, fmt.Errorf("knative: service %s shut down while queued", s.spec.Name)
+			}
+			s.readySig.Wait(p)
+		}
+	}
+
+	// Route when capacity exists: requests buffer at the ingress (as the
+	// activator/queue-proxy pair does) and take the first free slot on any
+	// ready replica, so freshly scaled pods immediately absorb queued load.
+	enq := p.Now()
+	var h *podHandle
+	for {
+		if s.stopped {
+			return Response{}, fmt.Errorf("knative: service %s shut down while queued", s.spec.Name)
+		}
+		h = s.pickAvailable()
+		if h != nil {
+			break
+		}
+		s.readySig.Wait(p)
+	}
+	h.inFlight++
+	queued := p.Now() - enq
+
+	resp := Response{PodNode: h.pod.NodeName, Cold: cold, Queued: queued}
+	// Pass-by-value file handling (§IV-3): the caller marshals the input
+	// files into the request body, the function unmarshals them; the
+	// response payload pays the same costs in reverse.
+	p.Sleep(kn.codecTime(req.PayloadIn))
+	kn.cl.Net.Transfer(p, req.From, h.pod.NodeName, req.PayloadIn)
+	p.Sleep(kn.codecTime(req.PayloadIn))
+	p.Sleep(kn.prm.QueueProxyOverhead)
+	var stageErr error
+	var execErr error
+	if req.StageIn != nil {
+		stageErr = req.StageIn(p, h.pod.NodeName)
+	}
+	if stageErr == nil {
+		execErr = h.pod.Exec(p, req.Work)
+		if execErr == nil && req.StageOut != nil {
+			stageErr = req.StageOut(p, h.pod.NodeName)
+		}
+	}
+	if stageErr == nil && execErr == nil {
+		p.Sleep(kn.codecTime(req.PayloadOut))
+		kn.cl.Net.Transfer(p, h.pod.NodeName, req.From, req.PayloadOut)
+		p.Sleep(kn.codecTime(req.PayloadOut))
+	}
+	h.gate.Release(1)
+	h.inFlight--
+	s.readySig.Broadcast() // capacity freed: admit ingress-buffered requests
+	if execErr != nil {
+		// The replica died under us (e.g. scale-down race): one retry
+		// through the full path, as the knative ingress would.
+		return s.Invoke(p, req)
+	}
+	if stageErr != nil {
+		// Application-level failure: surface to the caller, no retry.
+		return resp, stageErr
+	}
+	return resp, nil
+}
+
+// codecTime returns the (un)marshalling time of a payload.
+func (kn *Knative) codecTime(bytes int64) time.Duration {
+	if kn.prm.PayloadCodecBps <= 0 || bytes <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / kn.prm.PayloadCodecBps * float64(time.Second))
+}
+
+// pickAvailable chooses a ready replica with free concurrency capacity
+// according to the service's route policy (ties broken round-robin, as the
+// knative ingress balances equal backends) and claims one request slot on
+// it. It returns nil when every ready replica is saturated.
+func (s *Service) pickAvailable() *podHandle {
+	var best *podHandle
+	var bestScore float64
+	s.rr++
+	n := len(s.pods)
+	for i := 0; i < n; i++ {
+		h := s.pods[(i+s.rr)%n]
+		if !h.ready() || h.gate.Available() == 0 {
+			continue
+		}
+		var score float64
+		switch s.spec.Routing {
+		case RouteLeastNodeLoad:
+			// Redirect away from busy nodes (§IX-D): node CPU queue length
+			// first, replica queue as tie-break.
+			node := s.kn.cl.MustNode(h.pod.NodeName)
+			score = float64(node.CPU.Load())*1e6 + float64(h.inFlight)
+		default:
+			score = float64(h.inFlight)
+		}
+		if best == nil || score < bestScore {
+			best, bestScore = h, score
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	if !best.gate.TryAcquire(1) {
+		// Cannot happen: availability was checked and nothing parks in
+		// between under the cooperative scheduler.
+		panic("knative: capacity vanished under pickAvailable")
+	}
+	return best
+}
+
+// purgeDead removes handles whose pods were killed out from under the
+// service (node drains, evictions) so reconciliation sees the true replica
+// count and replaces them.
+func (s *Service) purgeDead() {
+	kept := s.pods[:0]
+	for _, h := range s.pods {
+		ph := h.pod.Phase()
+		if ph == kube.PhaseDead || ph == kube.PhaseFailed {
+			continue
+		}
+		kept = append(kept, h)
+	}
+	s.pods = kept
+}
+
+// scaleTo reconciles the replica count towards desired: grows immediately,
+// shrinks by removing idle replicas only (busy ones drain first).
+func (s *Service) scaleTo(desired int) {
+	if s.spec.MaxScale > 0 && desired > s.spec.MaxScale {
+		desired = s.spec.MaxScale
+	}
+	if desired < s.spec.MinScale {
+		desired = s.spec.MinScale
+	}
+	current := 0
+	for _, h := range s.pods {
+		if h.state != podTerminating {
+			current++
+		}
+	}
+	for current < desired {
+		s.addPod()
+		current++
+	}
+	for current > desired {
+		h := s.idleVictim()
+		if h == nil {
+			return // nothing idle; retry next tick
+		}
+		h.state = podTerminating
+		s.kn.k.DeletePod(h.pod.Spec.Name)
+		s.removeHandle(h)
+		current--
+	}
+}
+
+// idleVictim returns the newest ready replica with no in-flight requests.
+func (s *Service) idleVictim() *podHandle {
+	for i := len(s.pods) - 1; i >= 0; i-- {
+		h := s.pods[i]
+		if h.ready() && h.inFlight == 0 {
+			return h
+		}
+	}
+	// Allow cancelling replicas that are still starting.
+	for i := len(s.pods) - 1; i >= 0; i-- {
+		h := s.pods[i]
+		if h.state == podStarting && !h.pod.Ready() {
+			return h
+		}
+	}
+	return nil
+}
+
+// autoscalerLoop is the KPA: every tick it samples concurrency, averages it
+// over the stable and panic windows, and reconciles the replica count.
+func (s *Service) autoscalerLoop(p *sim.Proc) {
+	prm := s.kn.prm
+	var idleSince time.Duration = -1
+	for !s.stopped {
+		p.Sleep(prm.AutoscalerTick)
+		if s.stopped {
+			return
+		}
+		s.purgeDead()
+		now := p.Now()
+		s.samples = append(s.samples, sample{at: now, val: float64(s.inFlight)})
+		s.trimSamples(now - prm.StableWindow)
+
+		stableAvg := s.windowAvg(now - prm.StableWindow)
+		panicAvg := s.windowAvg(now - prm.PanicWindow)
+		target := s.spec.Target
+		desiredStable := int(math.Ceil(stableAvg / target))
+		desiredPanic := int(math.Ceil(panicAvg / target))
+
+		ready := s.ReadyPods()
+		if ready == 0 {
+			ready = 1
+		}
+		if float64(desiredPanic) >= prm.PanicThreshold*float64(ready) {
+			s.panicEnd = now + prm.StableWindow
+		}
+		desired := desiredStable
+		if now < s.panicEnd && desiredPanic > desired {
+			desired = desiredPanic
+		}
+
+		// Scale-to-zero needs a sustained idle period plus the grace.
+		if desired == 0 && s.spec.MinScale == 0 {
+			if s.inFlight > 0 || stableAvg > 0 {
+				idleSince = -1
+				continue
+			}
+			if idleSince < 0 {
+				idleSince = now
+				continue
+			}
+			if now-idleSince < prm.ScaleToZeroGrace {
+				continue
+			}
+		} else {
+			idleSince = -1
+		}
+		s.scaleTo(desired)
+	}
+}
+
+func (s *Service) trimSamples(cutoff time.Duration) {
+	i := 0
+	for i < len(s.samples) && s.samples[i].at < cutoff {
+		i++
+	}
+	s.samples = s.samples[i:]
+}
+
+func (s *Service) windowAvg(cutoff time.Duration) float64 {
+	sum, n := 0.0, 0
+	for _, smp := range s.samples {
+		if smp.at >= cutoff {
+			sum += smp.val
+			n++
+		}
+	}
+	if n == 0 {
+		return float64(s.inFlight)
+	}
+	return sum / float64(n)
+}
+
+// hpaLoop is the HPA-class autoscaler: every sync period it estimates
+// per-pod CPU utilization (in-flight requests each consume up to one core
+// against the pod's quota) and reconciles towards the target utilization.
+// Unlike the KPA it has no panic mode and never scales to zero: the floor
+// is max(MinScale, 1).
+func (s *Service) hpaLoop(p *sim.Proc) {
+	prm := s.kn.prm
+	for !s.stopped {
+		p.Sleep(prm.HPASyncPeriod)
+		if s.stopped {
+			return
+		}
+		s.purgeDead()
+		ready := s.ReadyPods()
+		if ready == 0 {
+			continue
+		}
+		perPod := 1.0
+		if s.spec.CapCores > 0 {
+			perPod = s.spec.CapCores
+		}
+		utilization := float64(s.inFlight) / (float64(ready) * perPod)
+		desired := int(math.Ceil(float64(ready) * utilization / prm.HPATargetUtilization))
+		if desired < 1 {
+			desired = 1
+		}
+		s.scaleTo(desired)
+	}
+}

@@ -1,0 +1,124 @@
+package knative
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Route models Knative's route object: a stable invocation endpoint whose
+// traffic splits by percentage across revisions (each revision is a
+// deployed Service here, as a new revision is a new deployment of the
+// function's next image). Routes enable zero-downtime function updates —
+// registering a new container image for a transformation while workflows
+// are running — via gradual traffic shifting.
+type Route struct {
+	kn      *Knative
+	name    string
+	entries []RouteEntry
+	rng     *sim.RNG
+
+	// Shifted counts completed traffic-shift steps, for observability.
+	Shifted int
+}
+
+// RouteEntry assigns a revision a share of the route's traffic.
+type RouteEntry struct {
+	Revision *Service
+	Percent  int
+}
+
+// NewRoute creates a route over the given traffic split. Percentages must
+// sum to 100.
+func (kn *Knative) NewRoute(name string, entries ...RouteEntry) (*Route, error) {
+	if err := validSplit(entries); err != nil {
+		return nil, fmt.Errorf("knative: route %s: %w", name, err)
+	}
+	return &Route{
+		kn:      kn,
+		name:    name,
+		entries: append([]RouteEntry(nil), entries...),
+		rng:     kn.env.Rand().Fork(),
+	}, nil
+}
+
+func validSplit(entries []RouteEntry) error {
+	if len(entries) == 0 {
+		return fmt.Errorf("no traffic targets")
+	}
+	total := 0
+	for _, e := range entries {
+		if e.Percent < 0 || e.Revision == nil {
+			return fmt.Errorf("invalid traffic entry")
+		}
+		total += e.Percent
+	}
+	if total != 100 {
+		return fmt.Errorf("traffic percentages sum to %d, want 100", total)
+	}
+	return nil
+}
+
+// Traffic returns the current split.
+func (r *Route) Traffic() []RouteEntry {
+	return append([]RouteEntry(nil), r.entries...)
+}
+
+// SetTraffic atomically replaces the split.
+func (r *Route) SetTraffic(entries ...RouteEntry) error {
+	if err := validSplit(entries); err != nil {
+		return fmt.Errorf("knative: route %s: %w", r.name, err)
+	}
+	r.entries = append(r.entries[:0], entries...)
+	return nil
+}
+
+// Invoke routes one request to a revision drawn from the traffic split.
+func (r *Route) Invoke(p *sim.Proc, req Request) (Response, error) {
+	x := r.rng.Intn(100)
+	acc := 0
+	for _, e := range r.entries {
+		acc += e.Percent
+		if x < acc {
+			return e.Revision.Invoke(p, req)
+		}
+	}
+	// Rounding paranoia: fall through to the last entry.
+	return r.entries[len(r.entries)-1].Revision.Invoke(p, req)
+}
+
+// Rollout shifts 100% of traffic from the current primary revision to next
+// in `steps` equal increments spaced `interval` apart, blocking until the
+// shift completes. The old revision drains through its own autoscaler
+// (deploy the new revision with MinScale 0 on the old one to let it reach
+// zero). This is the zero-downtime function-update path.
+func (r *Route) Rollout(p *sim.Proc, next *Service, steps int, interval time.Duration) error {
+	if steps < 1 {
+		return fmt.Errorf("knative: route %s: rollout needs at least one step", r.name)
+	}
+	if len(r.entries) != 1 {
+		return fmt.Errorf("knative: route %s: rollout requires a single current revision (have %d)", r.name, len(r.entries))
+	}
+	old := r.entries[0].Revision
+	for i := 1; i <= steps; i++ {
+		pct := i * 100 / steps
+		var entries []RouteEntry
+		if pct >= 100 {
+			entries = []RouteEntry{{Revision: next, Percent: 100}}
+		} else {
+			entries = []RouteEntry{
+				{Revision: old, Percent: 100 - pct},
+				{Revision: next, Percent: pct},
+			}
+		}
+		if err := r.SetTraffic(entries...); err != nil {
+			return err
+		}
+		r.Shifted++
+		if i < steps {
+			p.Sleep(interval)
+		}
+	}
+	return nil
+}

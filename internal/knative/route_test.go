@@ -1,0 +1,86 @@
+package knative
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// spreadSpec is a three-replica (one per worker) service spec with the
+// given route policy.
+func spreadSpec(route RoutePolicy) ServiceSpec {
+	spec := baseSpec()
+	spec.MinScale = 3
+	spec.InitialScale = 3
+	spec.MaxScale = 3
+	spec.ContainerConcurrency = 8
+	spec.Routing = route
+	return spec
+}
+
+func TestRoundRobinSpreadsSequentialRequests(t *testing.T) {
+	f := newFixture(t)
+	nodes := map[string]int{}
+	f.env.Go("client", func(p *sim.Proc) {
+		f.prePull(p)
+		svc, err := f.kn.Deploy(p, spreadSpec(RouteLeastRequests))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 9; i++ {
+			resp, err := svc.Invoke(p, req(0.1))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			nodes[resp.PodNode]++
+		}
+		f.kn.Shutdown()
+	})
+	f.env.Run()
+	if len(nodes) != 3 {
+		t.Errorf("9 sequential requests used %d nodes, want 3 (round-robin ties): %v", len(nodes), nodes)
+	}
+}
+
+func TestLeastNodeLoadAvoidsHotNode(t *testing.T) {
+	f := newFixture(t)
+	hot := f.cl.Workers[0]
+	var hotHits, total int
+	f.env.Go("client", func(p *sim.Proc) {
+		f.prePull(p)
+		svc, err := f.kn.Deploy(p, spreadSpec(RouteLeastNodeLoad))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Saturate worker1 with reserved background load (another tenant's
+		// containers), oversubscribing the node's reservations.
+		for i := 0; i < 16; i++ {
+			f.env.Go("hog", func(hp *sim.Proc) { hot.ExecReserved(hp, 1e6, 1, 1) })
+		}
+		p.Sleep(time.Second)
+		for i := 0; i < 10; i++ {
+			resp, err := svc.Invoke(p, req(0.3))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			total++
+			if resp.PodNode == hot.Name {
+				hotHits++
+			}
+			p.Sleep(200 * time.Millisecond)
+		}
+		f.kn.Shutdown()
+	})
+	f.env.RunUntil(10 * time.Minute) // the hogs never finish; bound the run
+	if total != 10 {
+		t.Fatalf("served %d requests", total)
+	}
+	if hotHits != 0 {
+		t.Errorf("%d/%d requests routed to the overloaded node", hotHits, total)
+	}
+}

@@ -1,0 +1,133 @@
+package knative
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func deployRevision(t *testing.T, f *fixture, p *sim.Proc, name string, minScale int) *Service {
+	t.Helper()
+	spec := baseSpec()
+	spec.Name = name
+	spec.MinScale = minScale
+	spec.InitialScale = 1
+	spec.ContainerConcurrency = 8
+	svc, err := f.kn.Deploy(p, spec)
+	if err != nil {
+		t.Error(err)
+		return nil
+	}
+	return svc
+}
+
+func TestRouteSplitsTraffic(t *testing.T) {
+	f := newFixture(t)
+	counts := map[string]int{}
+	f.env.Go("main", func(p *sim.Proc) {
+		defer f.kn.Shutdown()
+		rev1 := deployRevision(t, f, p, "fn-rev1", 1)
+		rev2 := deployRevision(t, f, p, "fn-rev2", 1)
+		if rev1 == nil || rev2 == nil {
+			return
+		}
+		route, err := f.kn.NewRoute("fn",
+			RouteEntry{Revision: rev1, Percent: 75},
+			RouteEntry{Revision: rev2, Percent: 25},
+		)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 200; i++ {
+			if _, err := route.Invoke(p, req(0.05)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		counts["rev1"] = rev1.Requests
+		counts["rev2"] = rev2.Requests
+	})
+	f.env.Run()
+	if got := counts["rev1"]; got < 125 || got > 175 {
+		t.Errorf("rev1 served %d/200, want ≈150 (75%%)", got)
+	}
+	if counts["rev1"]+counts["rev2"] != 200 {
+		t.Errorf("requests lost: %v", counts)
+	}
+}
+
+func TestRouteValidation(t *testing.T) {
+	f := newFixture(t)
+	f.env.Go("main", func(p *sim.Proc) {
+		defer f.kn.Shutdown()
+		rev1 := deployRevision(t, f, p, "fn-rev1", 1)
+		if rev1 == nil {
+			return
+		}
+		if _, err := f.kn.NewRoute("bad", RouteEntry{Revision: rev1, Percent: 80}); err == nil {
+			t.Error("split summing to 80 accepted")
+		}
+		if _, err := f.kn.NewRoute("empty"); err == nil {
+			t.Error("empty split accepted")
+		}
+		route, err := f.kn.NewRoute("fn", RouteEntry{Revision: rev1, Percent: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := route.SetTraffic(RouteEntry{Revision: rev1, Percent: 99}); err == nil {
+			t.Error("SetTraffic with bad sum accepted")
+		}
+	})
+	f.env.Run()
+}
+
+func TestRolloutShiftsAndDrainsOldRevision(t *testing.T) {
+	f := newFixture(t)
+	var oldPods, newServed int
+	var rolloutErr error
+	f.env.Go("main", func(p *sim.Proc) {
+		defer f.kn.Shutdown()
+		f.prePull(p)
+		rev1 := deployRevision(t, f, p, "fn-rev1", 0) // MinScale 0: can drain to zero
+		rev2 := deployRevision(t, f, p, "fn-rev2", 1)
+		if rev1 == nil || rev2 == nil {
+			return
+		}
+		route, err := f.kn.NewRoute("fn", RouteEntry{Revision: rev1, Percent: 100})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Drive steady traffic during the rollout.
+		stop := false
+		f.env.Go("client", func(cp *sim.Proc) {
+			for !stop {
+				if _, err := route.Invoke(cp, req(0.05)); err != nil {
+					return
+				}
+				cp.Sleep(500 * time.Millisecond)
+			}
+		})
+		rolloutErr = route.Rollout(p, rev2, 4, 5*time.Second)
+		// Idle past the old revision's scale-to-zero horizon.
+		p.Sleep(f.prm.StableWindow + f.prm.ScaleToZeroGrace + 20*time.Second)
+		stop = true
+		oldPods = rev1.ReadyPods()
+		newServed = rev2.Requests
+		if tr := route.Traffic(); len(tr) != 1 || tr[0].Revision != rev2 || tr[0].Percent != 100 {
+			t.Errorf("final traffic = %+v", tr)
+		}
+	})
+	f.env.Run()
+	if rolloutErr != nil {
+		t.Fatal(rolloutErr)
+	}
+	if newServed == 0 {
+		t.Error("new revision served nothing")
+	}
+	if oldPods != 0 {
+		t.Errorf("old revision still has %d pods after drain", oldPods)
+	}
+}

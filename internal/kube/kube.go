@@ -1,0 +1,390 @@
+// Package kube is a minimal Kubernetes control plane: an API object store
+// for pods, a least-loaded scheduler, and one kubelet per worker node that
+// reconciles bound pods into containers (pull image → create → start →
+// readiness). It provides exactly the substrate Knative Serving needs —
+// pod lifecycle with observable readiness — including the latency sources
+// that make up a serverless cold start.
+package kube
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/crt"
+	"repro/internal/sim"
+)
+
+// Phase is a pod lifecycle phase.
+type Phase int
+
+// Pod phases.
+const (
+	PhasePending Phase = iota
+	PhaseScheduled
+	PhaseStarting
+	PhaseRunning
+	PhaseFailed
+	PhaseDead
+)
+
+func (ph Phase) String() string {
+	switch ph {
+	case PhasePending:
+		return "Pending"
+	case PhaseScheduled:
+		return "Scheduled"
+	case PhaseStarting:
+		return "Starting"
+	case PhaseRunning:
+		return "Running"
+	case PhaseFailed:
+		return "Failed"
+	case PhaseDead:
+		return "Dead"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(ph))
+	}
+}
+
+// PodSpec describes a pod to create.
+type PodSpec struct {
+	// Name must be unique among live pods.
+	Name string
+	// Image is the container image to run.
+	Image string
+	// CPURequest is the scheduler's resource request in cores.
+	CPURequest float64
+	// MemMB is the memory request, admission-checked on the node.
+	MemMB int
+	// CapCores is the cgroup CPU quota applied to the container
+	// (0 = uncapped).
+	CapCores float64
+	// AppInit is the in-container application initialisation time before
+	// the pod can pass readiness (e.g. python + flask + numpy import).
+	AppInit time.Duration
+}
+
+// Pod is a scheduled unit of work.
+type Pod struct {
+	Spec     PodSpec
+	NodeName string
+
+	phase     Phase
+	ready     bool
+	readyF    *sim.Future[error]
+	container *crt.Container
+	readyAt   time.Duration
+	deleted   bool
+}
+
+// Phase returns the pod's current phase.
+func (pod *Pod) Phase() Phase { return pod.phase }
+
+// Ready reports whether the pod is serving.
+func (pod *Pod) Ready() bool { return pod.ready }
+
+// ReadyAt returns the virtual time the pod became ready.
+func (pod *Pod) ReadyAt() time.Duration { return pod.readyAt }
+
+// Exec runs work core-seconds in the pod's container, blocking the caller.
+// It fails if the pod is not running.
+func (pod *Pod) Exec(p *sim.Proc, work float64) error {
+	if !pod.ready || pod.container == nil {
+		return fmt.Errorf("kube: pod %s not ready", pod.Spec.Name)
+	}
+	return pod.container.Exec(p, work)
+}
+
+type podOp struct {
+	pod    *Pod
+	delete bool
+}
+
+// Kube is the control plane plus its kubelets.
+type Kube struct {
+	env      *sim.Env
+	cl       *cluster.Cluster
+	prm      config.Params
+	runtimes map[string]*crt.Runtime
+	pods     map[string]*Pod
+	schedQ   *sim.Chan[*Pod]
+	nodeQ    map[string]*sim.Chan[podOp]
+	cordoned map[string]bool
+	started  bool
+}
+
+// New builds a control plane over the cluster's worker nodes (the submit
+// node hosts the control plane itself, as in the paper's setup, and runs no
+// pods). The runtimes may be shared with other consumers (e.g. the batch
+// system's container universe); pass crt.NewSet(...) when nothing else needs
+// them.
+func New(env *sim.Env, cl *cluster.Cluster, runtimes crt.Set, prm config.Params) *Kube {
+	k := &Kube{
+		env:      env,
+		cl:       cl,
+		prm:      prm,
+		runtimes: runtimes,
+		pods:     make(map[string]*Pod),
+		schedQ:   sim.NewUnbounded[*Pod](env),
+		nodeQ:    make(map[string]*sim.Chan[podOp]),
+		cordoned: make(map[string]bool),
+	}
+	for _, w := range cl.Workers {
+		k.nodeQ[w.Name] = sim.NewUnbounded[podOp](env)
+	}
+	return k
+}
+
+// Runtime exposes a node's container runtime (used to pre-pull images and
+// by tests).
+func (k *Kube) Runtime(node string) *crt.Runtime { return k.runtimes[node] }
+
+// Workers returns the schedulable node names in stable order.
+func (k *Kube) Workers() []string {
+	names := make([]string, len(k.cl.Workers))
+	for i, w := range k.cl.Workers {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// Start launches the scheduler and kubelet processes. It must be called
+// once, from outside or inside simulation context, before pods are created.
+func (k *Kube) Start() {
+	if k.started {
+		panic("kube: Start called twice")
+	}
+	k.started = true
+	k.env.Go("kube-scheduler", k.schedulerLoop)
+	for _, w := range k.cl.Workers {
+		w := w
+		k.env.Go("kubelet-"+w.Name, func(p *sim.Proc) { k.kubeletLoop(p, w) })
+	}
+}
+
+// Shutdown closes the scheduler and kubelet work queues so their processes
+// exit once already-queued operations (including pending pod deletions)
+// drain. Call it after deleting all pods to let the simulation finish.
+func (k *Kube) Shutdown() {
+	k.schedQ.Close()
+	for _, q := range k.nodeQ {
+		q.Close()
+	}
+}
+
+// CreatePod registers a pod and queues it for scheduling. It does not
+// block; wait for readiness with WaitReady.
+func (k *Kube) CreatePod(spec PodSpec) (*Pod, error) {
+	if !k.started {
+		return nil, fmt.Errorf("kube: control plane not started")
+	}
+	if _, exists := k.pods[spec.Name]; exists {
+		return nil, fmt.Errorf("kube: pod %q already exists", spec.Name)
+	}
+	pod := &Pod{Spec: spec, phase: PhasePending, readyF: sim.NewFuture[error](k.env)}
+	k.pods[spec.Name] = pod
+	k.schedQ.TrySend(pod)
+	return pod, nil
+}
+
+// DeletePod removes a pod: if still pending it is cancelled; otherwise the
+// owning kubelet tears the container down.
+func (k *Kube) DeletePod(name string) {
+	pod, ok := k.pods[name]
+	if !ok {
+		return
+	}
+	delete(k.pods, name)
+	pod.deleted = true
+	pod.ready = false
+	if pod.NodeName != "" {
+		k.nodeQ[pod.NodeName].TrySend(podOp{pod: pod, delete: true})
+	}
+}
+
+// CordonNode marks a node unschedulable (kubectl cordon).
+func (k *Kube) CordonNode(name string) { k.cordoned[name] = true }
+
+// UncordonNode makes a node schedulable again.
+func (k *Kube) UncordonNode(name string) { delete(k.cordoned, name) }
+
+// DrainNode cordons a node and deletes every pod bound to it (kubectl
+// drain) — maintenance, spot reclamation, or failure. Workload controllers
+// (the knative autoscaler here) replace the pods elsewhere.
+func (k *Kube) DrainNode(name string) int {
+	k.CordonNode(name)
+	var victims []string
+	for podName, pod := range k.pods {
+		if pod.NodeName == name {
+			victims = append(victims, podName)
+		}
+	}
+	sort.Strings(victims) // deterministic eviction order
+	for _, podName := range victims {
+		k.DeletePod(podName)
+	}
+	return len(victims)
+}
+
+// WaitReady blocks until the pod becomes ready or fails, returning a non-nil
+// error in the failure case.
+func (k *Kube) WaitReady(p *sim.Proc, pod *Pod) error {
+	return pod.readyF.Get(p)
+}
+
+// PodsOnNode counts live pods bound to a node.
+func (k *Kube) PodsOnNode(node string) int {
+	n := 0
+	for _, pod := range k.pods {
+		if pod.NodeName == node && pod.phase != PhaseDead && pod.phase != PhaseFailed {
+			n++
+		}
+	}
+	return n
+}
+
+// schedulerLoop binds pending pods to the worker with the lowest requested
+// CPU (least-allocated scoring), breaking ties by node order.
+func (k *Kube) schedulerLoop(p *sim.Proc) {
+	for {
+		pod, ok := k.schedQ.Recv(p)
+		if !ok {
+			return
+		}
+		if pod.deleted {
+			continue
+		}
+		p.Sleep(k.prm.SchedulerLatency)
+		node := k.pickNode(pod.Spec)
+		if node == nil {
+			pod.phase = PhaseFailed
+			pod.readyF.Set(fmt.Errorf("kube: no node fits pod %s", pod.Spec.Name))
+			continue
+		}
+		pod.NodeName = node.Name
+		pod.phase = PhaseScheduled
+		p.Tracef("bound pod %s to %s", pod.Spec.Name, node.Name)
+		k.nodeQ[node.Name].TrySend(podOp{pod: pod})
+	}
+}
+
+func (k *Kube) pickNode(spec PodSpec) *cluster.Node {
+	var best *cluster.Node
+	bestScore := 0.0
+	for _, w := range k.cl.Workers {
+		if k.cordoned[w.Name] {
+			continue
+		}
+		if w.MemUsedMB()+spec.MemMB > w.MemMB {
+			continue
+		}
+		score := k.requestedCPU(w.Name)
+		if best == nil || score < bestScore {
+			best = w
+			bestScore = score
+		}
+	}
+	return best
+}
+
+func (k *Kube) requestedCPU(node string) float64 {
+	total := 0.0
+	for _, pod := range k.pods {
+		if pod.NodeName == node && pod.phase != PhaseDead && pod.phase != PhaseFailed {
+			total += pod.Spec.CPURequest
+		}
+	}
+	return total
+}
+
+// kubeletLoop reconciles pods bound to one node.
+func (k *Kube) kubeletLoop(p *sim.Proc, node *cluster.Node) {
+	q := k.nodeQ[node.Name]
+	for {
+		op, ok := q.Recv(p)
+		if !ok {
+			return
+		}
+		if op.delete {
+			k.teardown(p, op.pod, node)
+			continue
+		}
+		// Pod startups proceed in parallel (the kubelet does not serialize
+		// unrelated pods); image-layer pulls still contend on the network.
+		pod := op.pod
+		p.Env().Go("pod-start-"+pod.Spec.Name, func(pp *sim.Proc) {
+			k.bringUp(pp, pod, node)
+		})
+	}
+}
+
+// bringUp drives a bound pod to readiness; its duration is the cold-start
+// cost: admission + image pull (if absent) + container create + start + app
+// init + readiness probe.
+func (k *Kube) bringUp(p *sim.Proc, pod *Pod, node *cluster.Node) {
+	if pod.deleted {
+		pod.phase = PhaseDead
+		pod.readyF.Set(fmt.Errorf("kube: pod %s deleted before startup", pod.Spec.Name))
+		return
+	}
+	fail := func(err error) {
+		pod.phase = PhaseFailed
+		pod.readyF.Set(err)
+	}
+	if err := node.ReserveMem(pod.Spec.MemMB); err != nil {
+		fail(err)
+		return
+	}
+	pod.phase = PhaseStarting
+	rt := k.runtimes[node.Name]
+	if err := rt.PullImage(p, pod.Spec.Image); err != nil {
+		node.ReleaseMem(pod.Spec.MemMB)
+		fail(err)
+		return
+	}
+	c, err := rt.Create(p, pod.Spec.Image, pod.Spec.CapCores)
+	if err != nil {
+		node.ReleaseMem(pod.Spec.MemMB)
+		fail(err)
+		return
+	}
+	if err := c.Start(p); err != nil {
+		node.ReleaseMem(pod.Spec.MemMB)
+		fail(err)
+		return
+	}
+	pod.container = c
+	p.Sleep(pod.Spec.AppInit)
+	// Readiness is observed at the next probe tick.
+	p.Sleep(k.prm.ReadinessProbeInterval)
+	if pod.deleted { // deleted during startup; tear down now
+		_ = c.StopRemove(p)
+		node.ReleaseMem(pod.Spec.MemMB)
+		pod.phase = PhaseDead
+		pod.readyF.Set(fmt.Errorf("kube: pod %s deleted during startup", pod.Spec.Name))
+		return
+	}
+	pod.phase = PhaseRunning
+	pod.ready = true
+	pod.readyAt = p.Now()
+	pod.readyF.Set(nil)
+	p.Tracef("pod %s ready on %s", pod.Spec.Name, node.Name)
+}
+
+func (k *Kube) teardown(p *sim.Proc, pod *Pod, node *cluster.Node) {
+	// A pod still starting up is cleaned up by its own bringUp process
+	// (which observes pod.deleted when it resumes); tearing it down here
+	// would double-release its resources.
+	if pod.phase != PhaseRunning {
+		return
+	}
+	if pod.container != nil && pod.container.State() == crt.StateRunning {
+		_ = pod.container.StopRemove(p)
+		node.ReleaseMem(pod.Spec.MemMB)
+	}
+	pod.phase = PhaseDead
+	pod.ready = false
+}

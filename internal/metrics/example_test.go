@@ -1,0 +1,36 @@
+package metrics_test
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/metrics"
+)
+
+// Fitting the regression line the paper annotates on its scaling plots.
+func ExampleLinearFit() {
+	tasks := []float64{2, 4, 8, 16}
+	seconds := []float64{1.0, 1.6, 2.8, 5.2} // y = 0.3x + 0.4
+	fit, err := metrics.LinearFit(tasks, seconds)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(fit)
+	// Output:
+	// y = 0.300·x + 0.400 (R²=1.000)
+}
+
+// Rendering an experiment series the way cmd/repro does.
+func ExampleTable() {
+	tbl := metrics.NewTable("tasks", "makespan_s")
+	tbl.AddRow(10, 250.0)
+	tbl.AddRow(20, 505.5)
+	if err := tbl.Write(os.Stdout); err != nil {
+		panic(err)
+	}
+	// Output:
+	// tasks  makespan_s
+	// -----  ----------
+	// 10     250.000
+	// 20     505.500
+}

@@ -1,0 +1,89 @@
+// Package registry models the container image registry (the paper stores
+// its task images on DockerHub, §V-C). Images are sets of content-addressed
+// layers; pulls transfer only layers missing from the destination node's
+// cache, over the network from the registry endpoint.
+package registry
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Layer is one content-addressed image layer.
+type Layer struct {
+	Digest string
+	Bytes  int64
+}
+
+// Image is a named, layered container image.
+type Image struct {
+	Name   string
+	Layers []Layer
+}
+
+// Bytes returns the image's total size.
+func (img Image) Bytes() int64 {
+	var total int64
+	for _, l := range img.Layers {
+		total += l.Bytes
+	}
+	return total
+}
+
+// NewImage builds an image with synthetic layer digests derived from the
+// name, so two images built from the same base share their base layer (and
+// pulls of the second image skip it, as with real registries).
+func NewImage(name string, base []int64, appBytes int64) Image {
+	img := Image{Name: name}
+	for i, b := range base {
+		img.Layers = append(img.Layers, Layer{Digest: fmt.Sprintf("base-%d-%d", i, b), Bytes: b})
+	}
+	img.Layers = append(img.Layers, Layer{Digest: "app-" + name, Bytes: appBytes})
+	return img
+}
+
+// Registry is the image store plus its network endpoint.
+type Registry struct {
+	net    *simnet.Network
+	host   string
+	images map[string]Image
+	pulls  int
+}
+
+// New returns a registry reachable at the cluster's registry network node.
+func New(net *simnet.Network) *Registry {
+	return &Registry{
+		net:    net,
+		host:   cluster.RegistryNodeName,
+		images: make(map[string]Image),
+	}
+}
+
+// Push stores (or replaces) an image.
+func (r *Registry) Push(img Image) { r.images[img.Name] = img }
+
+// Image looks an image up by name.
+func (r *Registry) Image(name string) (Image, bool) {
+	img, ok := r.images[name]
+	return img, ok
+}
+
+// Pulls returns the number of layer transfers served, for test assertions.
+func (r *Registry) Pulls() int { return r.pulls }
+
+// PullLayers transfers the given layers of the named image to node,
+// blocking the calling process for the network time. The caller (the node's
+// container runtime) decides which layers are missing.
+func (r *Registry) PullLayers(p *sim.Proc, node string, img Image, missing []Layer) error {
+	if _, ok := r.images[img.Name]; !ok {
+		return fmt.Errorf("registry: image %q not found", img.Name)
+	}
+	for _, l := range missing {
+		r.pulls++
+		r.net.Transfer(p, r.host, node, l.Bytes)
+	}
+	return nil
+}

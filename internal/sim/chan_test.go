@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestChanRendezvous(t *testing.T) {
+	env := NewEnv(1)
+	ch := NewChan[int](env, 0)
+	var sentAt, recvAt time.Duration
+	env.Go("sender", func(p *Proc) {
+		p.Sleep(time.Second)
+		ch.Send(p, 42)
+		sentAt = p.Now()
+	})
+	var got int
+	env.Go("receiver", func(p *Proc) {
+		v, ok := ch.Recv(p)
+		if !ok {
+			t.Error("Recv reported closed")
+		}
+		got = v
+		recvAt = p.Now()
+	})
+	env.Run()
+	if got != 42 {
+		t.Errorf("got %d, want 42", got)
+	}
+	if sentAt != time.Second || recvAt != time.Second {
+		t.Errorf("sentAt=%v recvAt=%v, want 1s each", sentAt, recvAt)
+	}
+}
+
+func TestChanBufferedBlocksWhenFull(t *testing.T) {
+	env := NewEnv(1)
+	ch := NewChan[int](env, 2)
+	var sendDone [3]time.Duration
+	env.Go("sender", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			ch.Send(p, i)
+			sendDone[i] = p.Now()
+		}
+	})
+	env.Go("receiver", func(p *Proc) {
+		p.Sleep(5 * time.Second)
+		for i := 0; i < 3; i++ {
+			if v, ok := ch.Recv(p); !ok || v != i {
+				t.Errorf("recv %d: got %d ok=%v", i, v, ok)
+			}
+		}
+	})
+	env.Run()
+	if sendDone[0] != 0 || sendDone[1] != 0 {
+		t.Errorf("buffered sends blocked: %v", sendDone)
+	}
+	if sendDone[2] != 5*time.Second {
+		t.Errorf("third send completed at %v, want 5s", sendDone[2])
+	}
+}
+
+func TestChanFIFOAcrossManySenders(t *testing.T) {
+	env := NewEnv(1)
+	ch := NewUnbounded[int](env)
+	for i := 0; i < 50; i++ {
+		i := i
+		env.Go("sender", func(p *Proc) { ch.Send(p, i) })
+	}
+	var got []int
+	env.Go("receiver", func(p *Proc) {
+		for i := 0; i < 50; i++ {
+			v, _ := ch.Recv(p)
+			got = append(got, v)
+		}
+	})
+	env.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order broken at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestChanCloseWakesReceivers(t *testing.T) {
+	env := NewEnv(1)
+	ch := NewChan[string](env, 0)
+	var ok1, ok2 bool = true, true
+	env.Go("r1", func(p *Proc) { _, ok1 = ch.Recv(p) })
+	env.Go("r2", func(p *Proc) { _, ok2 = ch.Recv(p) })
+	env.Go("closer", func(p *Proc) {
+		p.Sleep(time.Second)
+		ch.Close()
+	})
+	env.Run()
+	if ok1 || ok2 {
+		t.Errorf("receivers got ok=%v,%v after close, want false,false", ok1, ok2)
+	}
+	if env.Alive() != 0 {
+		t.Errorf("Alive = %d after close", env.Alive())
+	}
+}
+
+func TestChanDrainAfterClose(t *testing.T) {
+	env := NewEnv(1)
+	ch := NewUnbounded[int](env)
+	env.Go("p", func(p *Proc) {
+		ch.Send(p, 1)
+		ch.Send(p, 2)
+		ch.Close()
+		if v, ok := ch.Recv(p); !ok || v != 1 {
+			t.Errorf("first drain: %d %v", v, ok)
+		}
+		if v, ok := ch.Recv(p); !ok || v != 2 {
+			t.Errorf("second drain: %d %v", v, ok)
+		}
+		if _, ok := ch.Recv(p); ok {
+			t.Error("recv past drained close reported ok")
+		}
+	})
+	env.Run()
+}
+
+func TestChanRecvTimeout(t *testing.T) {
+	env := NewEnv(1)
+	ch := NewChan[int](env, 0)
+	env.Go("receiver", func(p *Proc) {
+		_, _, arrived := ch.RecvTimeout(p, time.Second)
+		if arrived {
+			t.Error("value arrived from nowhere")
+		}
+		if p.Now() != time.Second {
+			t.Errorf("timeout at %v, want 1s", p.Now())
+		}
+	})
+	env.Run()
+	// After a timed-out receiver vacates the queue, a plain send must not
+	// try to wake it.
+	env.Go("sender", func(p *Proc) { ch.TrySend(9) })
+	env.Run()
+}
+
+func TestChanRecvTimeoutBeatenByValue(t *testing.T) {
+	env := NewEnv(1)
+	ch := NewChan[int](env, 0)
+	env.Go("receiver", func(p *Proc) {
+		v, ok, arrived := ch.RecvTimeout(p, 10*time.Second)
+		if !arrived || !ok || v != 7 {
+			t.Errorf("got v=%d ok=%v arrived=%v", v, ok, arrived)
+		}
+		if p.Now() != 2*time.Second {
+			t.Errorf("delivered at %v, want 2s", p.Now())
+		}
+	})
+	env.Go("sender", func(p *Proc) {
+		p.Sleep(2 * time.Second)
+		ch.Send(p, 7)
+	})
+	env.Run()
+	if env.Alive() != 0 {
+		t.Errorf("Alive = %d", env.Alive())
+	}
+}
+
+func TestTrySendTryRecv(t *testing.T) {
+	env := NewEnv(1)
+	ch := NewChan[int](env, 1)
+	env.Go("p", func(p *Proc) {
+		if !ch.TrySend(1) {
+			t.Error("TrySend into empty buffer failed")
+		}
+		if ch.TrySend(2) {
+			t.Error("TrySend into full buffer succeeded")
+		}
+		v, ok, settled := ch.TryRecv()
+		if !settled || !ok || v != 1 {
+			t.Errorf("TryRecv = %d %v %v", v, ok, settled)
+		}
+		_, ok, settled = ch.TryRecv()
+		if settled || ok {
+			t.Error("TryRecv on empty open channel settled")
+		}
+	})
+	env.Run()
+}

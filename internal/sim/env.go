@@ -1,0 +1,201 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// An Env owns a virtual clock and a set of cooperatively scheduled processes.
+// Exactly one process runs at a time; a process runs until it blocks on one
+// of the kernel's primitives (Sleep, Chan, Future, Semaphore, WaitGroup,
+// Signal) and the kernel then hands control to the next runnable process, or
+// advances the virtual clock to the next pending event when no process is
+// runnable. Because scheduling is strictly sequential and all randomness is
+// drawn from a seeded generator, a simulation run is bit-for-bit reproducible
+// for a given seed.
+//
+// The design mirrors classic process-based simulators (SimPy, OMNeT++): model
+// code is written as ordinary straight-line Go in functions of the form
+// func(*Proc), spawned with Env.Go. Shared state needs no locking — the baton
+// hand-off between the scheduler and the single running process forms a
+// happens-before chain over all model state.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Env is a discrete-event simulation environment: a virtual clock, an event
+// queue, and a run queue of processes. Create one with NewEnv and drive it
+// with Run, RunUntil, or RunFor. An Env must be driven from a single
+// goroutine that is not itself a simulation process.
+type Env struct {
+	now    time.Duration
+	events eventHeap
+	ready  []*Proc
+	procs  map[int]*Proc // live processes, for diagnostics
+	seq    uint64
+	yield  chan struct{}
+	cur    *Proc
+	alive  int
+	nextID int
+	rng    *RNG
+	trace  TraceFunc
+}
+
+// TraceFunc receives structured trace records from Env.Tracef.
+type TraceFunc func(at time.Duration, component, message string)
+
+// NewEnv returns a fresh simulation environment whose random source is
+// seeded with seed. Two environments with the same seed and the same model
+// code execute identically.
+func NewEnv(seed uint64) *Env {
+	return &Env{
+		yield: make(chan struct{}),
+		procs: make(map[int]*Proc),
+		rng:   NewRNG(seed),
+	}
+}
+
+// Now returns the current virtual time, measured from the start of the
+// simulation.
+func (e *Env) Now() time.Duration { return e.now }
+
+// Rand returns the environment's deterministic random source.
+func (e *Env) Rand() *RNG { return e.rng }
+
+// Alive reports the number of processes that have been spawned and have not
+// yet returned. After Run it counts processes that are blocked forever
+// (a modelling bug) or parked on primitives nobody will signal.
+func (e *Env) Alive() int { return e.alive }
+
+// SetTrace installs a trace sink. A nil sink disables tracing.
+func (e *Env) SetTrace(f TraceFunc) { e.trace = f }
+
+// Tracef emits a trace record tagged with the current virtual time.
+// It is a no-op unless a sink was installed with SetTrace.
+func (e *Env) Tracef(component, format string, args ...any) {
+	if e.trace != nil {
+		e.trace(e.now, component, fmt.Sprintf(format, args...))
+	}
+}
+
+// DumpBlocked writes one line per live process to the sink, in spawn
+// order — the first debugging step when a simulation fails to drain
+// (Alive > 0 after Run): whatever is listed is parked on a primitive
+// nobody will signal.
+func (e *Env) DumpBlocked(sink func(line string)) {
+	ids := make([]int, 0, len(e.procs))
+	for id := range e.procs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		sink(fmt.Sprintf("%v [%s]", e.procs[id], e.procs[id].state))
+	}
+}
+
+// Go spawns a new process executing fn and schedules it to run at the
+// current virtual time. The name is used in traces and diagnostics.
+func (e *Env) Go(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		env:    e,
+		id:     e.nextID,
+		name:   name,
+		state:  stateReady,
+		resume: make(chan struct{}),
+	}
+	e.nextID++
+	e.alive++
+	e.procs[p.id] = p
+	e.ready = append(e.ready, p)
+	go func() {
+		<-p.resume
+		fn(p)
+		p.state = stateDone
+		e.alive--
+		delete(e.procs, p.id)
+		e.yield <- struct{}{}
+	}()
+	return p
+}
+
+// At schedules fn to run in scheduler context at absolute virtual time t
+// (clamped to now). The callback must not block on simulation primitives; it
+// may wake processes, complete futures, and schedule further events.
+func (e *Env) At(t time.Duration, fn func()) *Timer {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run in scheduler context d from now. See At.
+func (e *Env) After(d time.Duration, fn func()) *Timer {
+	return e.At(e.now+d, fn)
+}
+
+// Run drives the simulation until no process is runnable and no event is
+// pending, and returns the final virtual time. Processes still alive at that
+// point are blocked forever; Alive reports how many.
+func (e *Env) Run() time.Duration {
+	for e.step(-1) {
+	}
+	return e.now
+}
+
+// RunUntil drives the simulation until virtual time would pass t or the
+// simulation completes, whichever comes first. Events at exactly t still
+// fire. It returns the final virtual time.
+func (e *Env) RunUntil(t time.Duration) time.Duration {
+	for e.step(t) {
+	}
+	return e.now
+}
+
+// RunFor drives the simulation for d of virtual time from now. See RunUntil.
+func (e *Env) RunFor(d time.Duration) time.Duration {
+	return e.RunUntil(e.now + d)
+}
+
+// step executes one scheduling decision: run the next ready process to its
+// next blocking point, or fire the next event. horizon < 0 means no limit.
+// It returns false when there is nothing left to do within the horizon.
+func (e *Env) step(horizon time.Duration) bool {
+	if len(e.ready) > 0 {
+		p := e.ready[0]
+		copy(e.ready, e.ready[1:])
+		e.ready = e.ready[:len(e.ready)-1]
+		e.cur = p
+		p.state = stateRunning
+		p.resume <- struct{}{}
+		<-e.yield
+		e.cur = nil
+		return true
+	}
+	for e.events.Len() > 0 {
+		ev := e.events[0]
+		if ev.cancelled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if horizon >= 0 && ev.at > horizon {
+			e.now = horizon
+			return false
+		}
+		heap.Pop(&e.events)
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// enqueue marks p ready and appends it to the run queue. The caller must
+// hold the scheduling baton (i.e. be the running process or an event
+// callback).
+func (e *Env) enqueue(p *Proc) {
+	p.state = stateReady
+	e.ready = append(e.ready, p)
+}

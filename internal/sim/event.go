@@ -1,0 +1,61 @@
+package sim
+
+import "time"
+
+// event is a scheduled callback in the environment's event queue.
+type event struct {
+	at        time.Duration
+	seq       uint64 // tie-break so equal-time events fire in schedule order
+	fn        func()
+	cancelled bool
+	index     int
+}
+
+// Timer is a handle to a scheduled event that allows cancellation.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the cancellation took effect
+// before the event fired.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled {
+		return false
+	}
+	t.ev.cancelled = true
+	t.ev.fn = nil
+	return true
+}
+
+// eventHeap is a min-heap of events ordered by (time, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,80 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// A minimal simulation: two processes handing work through a channel on
+// the virtual clock.
+func Example() {
+	env := sim.NewEnv(1)
+	jobs := sim.NewChan[string](env, 0)
+
+	env.Go("producer", func(p *sim.Proc) {
+		for _, name := range []string{"stage-in", "compute", "stage-out"} {
+			p.Sleep(time.Second)
+			jobs.Send(p, name)
+		}
+		jobs.Close()
+	})
+	env.Go("worker", func(p *sim.Proc) {
+		for {
+			job, ok := jobs.Recv(p)
+			if !ok {
+				return
+			}
+			p.Sleep(500 * time.Millisecond)
+			fmt.Printf("%v %s done\n", p.Now(), job)
+		}
+	})
+
+	end := env.Run()
+	fmt.Println("simulation ended at", end)
+	// Output:
+	// 1.5s stage-in done
+	// 2.5s compute done
+	// 3.5s stage-out done
+	// simulation ended at 3.5s
+}
+
+// Futures resolve once and wake every waiter at the same virtual instant.
+func ExampleFuture() {
+	env := sim.NewEnv(1)
+	ready := sim.NewFuture[string](env)
+
+	for i := 0; i < 2; i++ {
+		i := i
+		env.Go("waiter", func(p *sim.Proc) {
+			v := ready.Get(p)
+			fmt.Printf("waiter %d saw %q at %v\n", i, v, p.Now())
+		})
+	}
+	env.Go("resolver", func(p *sim.Proc) {
+		p.Sleep(2 * time.Second)
+		ready.Set("pod-ready")
+	})
+	env.Run()
+	// Output:
+	// waiter 0 saw "pod-ready" at 2s
+	// waiter 1 saw "pod-ready" at 2s
+}
+
+// A semaphore bounds concurrency: four 1-second jobs through two permits
+// take two seconds.
+func ExampleSemaphore() {
+	env := sim.NewEnv(1)
+	slots := sim.NewSemaphore(env, 2)
+	for i := 0; i < 4; i++ {
+		env.Go("job", func(p *sim.Proc) {
+			slots.Acquire(p, 1)
+			p.Sleep(time.Second)
+			slots.Release(1)
+		})
+	}
+	fmt.Println("makespan:", env.Run())
+	// Output:
+	// makespan: 2s
+}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+type procState int
+
+const (
+	stateReady procState = iota
+	stateRunning
+	stateParked
+	stateDone
+)
+
+func (s procState) String() string {
+	switch s {
+	case stateReady:
+		return "ready"
+	case stateRunning:
+		return "running"
+	case stateParked:
+		return "parked"
+	case stateDone:
+		return "done"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Proc is a simulation process: a goroutine scheduled cooperatively by its
+// Env. All blocking methods must be called from the process's own function
+// body (the fn passed to Env.Go); calling them from outside the simulation
+// corrupts scheduling.
+type Proc struct {
+	env    *Env
+	id     int
+	name   string
+	state  procState
+	resume chan struct{}
+}
+
+// Env returns the environment the process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the process's unique id within its environment.
+func (p *Proc) ID() int { return p.id }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.env.now }
+
+// Rand returns the environment's deterministic random source.
+func (p *Proc) Rand() *RNG { return p.env.rng }
+
+// Tracef emits a trace record attributed to this process.
+func (p *Proc) Tracef(format string, args ...any) {
+	p.env.Tracef(p.name, format, args...)
+}
+
+// String identifies the process in diagnostics.
+func (p *Proc) String() string { return fmt.Sprintf("proc %d (%s)", p.id, p.name) }
+
+// park yields the scheduling baton and blocks until another process or an
+// event callback calls wake.
+func (p *Proc) park() {
+	p.state = stateParked
+	p.env.yield <- struct{}{}
+	<-p.resume
+	p.state = stateRunning
+}
+
+// wake moves a parked process back onto the run queue. The caller must hold
+// the scheduling baton. Waking a non-parked process is a kernel bug.
+func (p *Proc) wake() {
+	if p.state != stateParked {
+		panic(fmt.Sprintf("sim: wake of %v in state %d", p, p.state))
+	}
+	p.env.enqueue(p)
+}
+
+// Sleep blocks the process for d of virtual time. Non-positive durations
+// yield the processor without advancing the clock.
+func (p *Proc) Sleep(d time.Duration) {
+	if d <= 0 {
+		p.Yield()
+		return
+	}
+	p.env.After(d, p.wake)
+	p.park()
+}
+
+// SleepUntil blocks the process until absolute virtual time t (or returns
+// immediately if t has passed).
+func (p *Proc) SleepUntil(t time.Duration) {
+	if t <= p.env.now {
+		return
+	}
+	p.Sleep(t - p.env.now)
+}
+
+// Yield places the process at the back of the run queue, letting every other
+// currently runnable process execute before it resumes. The clock does not
+// advance.
+func (p *Proc) Yield() {
+	p.env.enqueue(p)
+	p.env.yield <- struct{}{}
+	<-p.resume
+	p.state = stateRunning
+}

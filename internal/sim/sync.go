@@ -1,0 +1,142 @@
+package sim
+
+// Semaphore is a counting semaphore with FIFO fairness: waiters acquire in
+// arrival order, so a large request cannot be starved by a stream of small
+// ones. It models bounded resources such as condor slots or a queue-proxy's
+// container-concurrency gate.
+type Semaphore struct {
+	env   *Env
+	avail int
+	cap   int
+	q     []*semWaiter
+}
+
+type semWaiter struct {
+	p *Proc
+	n int
+}
+
+// NewSemaphore returns a semaphore with n permits available.
+func NewSemaphore(env *Env, n int) *Semaphore {
+	if n < 0 {
+		panic("sim: negative semaphore capacity")
+	}
+	return &Semaphore{env: env, avail: n, cap: n}
+}
+
+// Available returns the number of free permits.
+func (s *Semaphore) Available() int { return s.avail }
+
+// Cap returns the total number of permits the semaphore was created with.
+func (s *Semaphore) Cap() int { return s.cap }
+
+// Waiting returns the number of processes blocked in Acquire.
+func (s *Semaphore) Waiting() int { return len(s.q) }
+
+// Acquire blocks the calling process until n permits are available and takes
+// them.
+func (s *Semaphore) Acquire(p *Proc, n int) {
+	if n <= 0 {
+		return
+	}
+	if len(s.q) == 0 && s.avail >= n {
+		s.avail -= n
+		return
+	}
+	s.q = append(s.q, &semWaiter{p: p, n: n})
+	p.park()
+}
+
+// TryAcquire takes n permits if they are immediately available (and no
+// earlier waiter is queued) and reports whether it succeeded.
+func (s *Semaphore) TryAcquire(n int) bool {
+	if len(s.q) == 0 && s.avail >= n {
+		s.avail -= n
+		return true
+	}
+	return false
+}
+
+// Release returns n permits and wakes as many queued waiters as now fit, in
+// FIFO order.
+func (s *Semaphore) Release(n int) {
+	if n <= 0 {
+		return
+	}
+	s.avail += n
+	for len(s.q) > 0 && s.q[0].n <= s.avail {
+		w := s.q[0]
+		s.q = s.q[1:]
+		s.avail -= w.n
+		w.p.wake()
+	}
+}
+
+// WaitGroup mirrors sync.WaitGroup for simulation processes.
+type WaitGroup struct {
+	env     *Env
+	count   int
+	waiters []*Proc
+}
+
+// NewWaitGroup returns an empty wait group.
+func NewWaitGroup(env *Env) *WaitGroup {
+	return &WaitGroup{env: env}
+}
+
+// Add adds delta to the counter. Driving the counter negative panics.
+func (wg *WaitGroup) Add(delta int) {
+	wg.count += delta
+	if wg.count < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if wg.count == 0 {
+		for _, p := range wg.waiters {
+			p.wake()
+		}
+		wg.waiters = nil
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait blocks the calling process until the counter reaches zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	if wg.count == 0 {
+		return
+	}
+	wg.waiters = append(wg.waiters, p)
+	p.park()
+}
+
+// Signal is a broadcast-only condition variable: processes Wait on it and
+// every Broadcast wakes all current waiters. It backs watch/notify patterns
+// (informers, reconcile loops).
+type Signal struct {
+	env     *Env
+	waiters []*Proc
+}
+
+// NewSignal returns a signal bound to env.
+func NewSignal(env *Env) *Signal {
+	return &Signal{env: env}
+}
+
+// Wait blocks the calling process until the next Broadcast.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, p)
+	p.park()
+}
+
+// Broadcast wakes every process currently blocked in Wait.
+func (s *Signal) Broadcast() {
+	ws := s.waiters
+	s.waiters = nil
+	for _, p := range ws {
+		p.wake()
+	}
+}
+
+// Waiting returns the number of blocked waiters.
+func (s *Signal) Waiting() int { return len(s.waiters) }

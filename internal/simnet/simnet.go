@@ -1,0 +1,126 @@
+// Package simnet models the cluster network: named nodes with
+// bandwidth-limited egress interfaces connected by a low-latency fabric.
+//
+// Transfers contend at the sender's egress interface (a fluid server), which
+// is where the reproduction's interesting bottleneck lives: every HTCondor
+// file transfer — input matrices, and in container mode the image itself —
+// leaves through the submit node's uplink (paper §IV-4, Fig. 2). Receiver
+// ingress contention is approximated by capping each transfer's rate at the
+// receiver's interface bandwidth.
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fluid"
+	"repro/internal/sim"
+)
+
+// Network is the cluster fabric. All methods must be called from simulation
+// context.
+type Network struct {
+	env     *sim.Env
+	latency time.Duration
+	ifaces  map[string]*iface
+}
+
+type iface struct {
+	name   string
+	bps    float64
+	egress *fluid.Server
+	tx     int64 // bytes sent, for accounting
+	rx     int64 // bytes received
+}
+
+// New returns a network with the given one-way message latency between any
+// pair of distinct nodes.
+func New(env *sim.Env, latency time.Duration) *Network {
+	return &Network{env: env, latency: latency, ifaces: make(map[string]*iface)}
+}
+
+// AddNode registers a node with the given egress bandwidth in bytes/second.
+func (n *Network) AddNode(name string, egressBps float64) {
+	if _, ok := n.ifaces[name]; ok {
+		panic(fmt.Sprintf("simnet: duplicate node %q", name))
+	}
+	n.ifaces[name] = &iface{
+		name:   name,
+		bps:    egressBps,
+		egress: fluid.New(n.env, "net:"+name, egressBps),
+	}
+}
+
+// HasNode reports whether name is registered.
+func (n *Network) HasNode(name string) bool {
+	_, ok := n.ifaces[name]
+	return ok
+}
+
+// Latency returns the one-way message latency.
+func (n *Network) Latency() time.Duration { return n.latency }
+
+// Message charges one small control message from one node to another
+// (latency only; bandwidth is negligible). Loopback is free.
+func (n *Network) Message(p *sim.Proc, from, to string) {
+	if from == to {
+		return
+	}
+	n.mustIface(from)
+	n.mustIface(to)
+	p.Sleep(n.latency)
+}
+
+// Transfer moves size bytes from one node to another, blocking the calling
+// process for the propagation latency plus the bandwidth-limited transfer
+// time. Concurrent transfers out of the same node share its egress
+// bandwidth; each transfer is additionally capped at the receiver's
+// interface rate. Loopback transfers are free.
+func (n *Network) Transfer(p *sim.Proc, from, to string, size int64) {
+	if size < 0 {
+		panic("simnet: negative transfer size")
+	}
+	src := n.mustIface(from)
+	dst := n.mustIface(to)
+	if from == to {
+		return
+	}
+	p.Sleep(n.latency)
+	if size == 0 {
+		return
+	}
+	rateCap := 0.0
+	if dst.bps < src.bps {
+		rateCap = dst.bps
+	}
+	src.egress.Run(p, float64(size), rateCap)
+	src.tx += size
+	dst.rx += size
+}
+
+// BytesSent returns the total bytes a node has sent.
+func (n *Network) BytesSent(node string) int64 { return n.mustIface(node).tx }
+
+// BytesReceived returns the total bytes a node has received.
+func (n *Network) BytesReceived(node string) int64 { return n.mustIface(node).rx }
+
+// TotalBytesSent returns the bytes sent across every node — total data
+// movement on the fabric.
+func (n *Network) TotalBytesSent() int64 {
+	var total int64
+	for _, f := range n.ifaces {
+		total += f.tx
+	}
+	return total
+}
+
+// EgressLoad returns the number of in-flight transfers leaving a node.
+func (n *Network) EgressLoad(node string) int { return n.mustIface(node).egress.Load() }
+
+func (n *Network) mustIface(name string) *iface {
+	f, ok := n.ifaces[name]
+	if !ok {
+		panic(fmt.Sprintf("simnet: unknown node %q", name))
+	}
+	return f
+}

@@ -1,0 +1,113 @@
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/fluid"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// ObjectStore models a Minio-like S3-compatible object service — the other
+// file-management strategy the paper names for serverless tasks (§V-E:
+// "alternative strategies include using a storage service like Minio").
+// Objects live in buckets on a dedicated service host; every GET/PUT pays a
+// per-request latency plus a bandwidth-shared transfer, and the service's
+// aggregate throughput is bounded.
+type ObjectStore struct {
+	host    string
+	net     *simnet.Network
+	srv     *fluid.Server
+	buckets map[string]map[string]int64
+
+	gets, puts int
+}
+
+// NewObjectStore returns a store hosted on host (which must be a network
+// node) with the given aggregate throughput in bytes/second.
+func NewObjectStore(env *sim.Env, net *simnet.Network, host string, bps float64) *ObjectStore {
+	if !net.HasNode(host) {
+		panic(fmt.Sprintf("storage: object store host %q not on network", host))
+	}
+	return &ObjectStore{
+		host:    host,
+		net:     net,
+		srv:     fluid.New(env, "objstore:"+host, bps),
+		buckets: make(map[string]map[string]int64),
+	}
+}
+
+// Host returns the service's node.
+func (o *ObjectStore) Host() string { return o.host }
+
+// MakeBucket creates a bucket; creating an existing bucket is an error
+// (matching S3 semantics).
+func (o *ObjectStore) MakeBucket(name string) error {
+	if _, dup := o.buckets[name]; dup {
+		return fmt.Errorf("storage: bucket %q already exists", name)
+	}
+	o.buckets[name] = make(map[string]int64)
+	return nil
+}
+
+// Put uploads an object from a node: request latency + transfer to the
+// host + service-side write bandwidth.
+func (o *ObjectStore) Put(p *sim.Proc, fromNode, bucket, key string, size int64) error {
+	b, ok := o.buckets[bucket]
+	if !ok {
+		return fmt.Errorf("storage: no bucket %q", bucket)
+	}
+	o.net.Transfer(p, fromNode, o.host, size)
+	if size > 0 {
+		o.srv.Run(p, float64(size), 0)
+	}
+	b[key] = size
+	o.puts++
+	return nil
+}
+
+// Get downloads an object to a node and returns its size.
+func (o *ObjectStore) Get(p *sim.Proc, toNode, bucket, key string) (int64, error) {
+	b, ok := o.buckets[bucket]
+	if !ok {
+		return 0, fmt.Errorf("storage: no bucket %q", bucket)
+	}
+	size, ok := b[key]
+	if !ok {
+		return 0, fmt.Errorf("storage: no object %s/%s", bucket, key)
+	}
+	if size > 0 {
+		o.srv.Run(p, float64(size), 0)
+	}
+	o.net.Transfer(p, o.host, toNode, size)
+	o.gets++
+	return size, nil
+}
+
+// Stat returns an object's size without a transfer (HEAD request).
+func (o *ObjectStore) Stat(p *sim.Proc, fromNode, bucket, key string) (int64, error) {
+	b, ok := o.buckets[bucket]
+	if !ok {
+		return 0, fmt.Errorf("storage: no bucket %q", bucket)
+	}
+	size, ok := b[key]
+	if !ok {
+		return 0, fmt.Errorf("storage: no object %s/%s", bucket, key)
+	}
+	o.net.Message(p, fromNode, o.host)
+	o.net.Message(p, o.host, fromNode)
+	return size, nil
+}
+
+// Seed records an object without charging I/O — initial inputs.
+func (o *ObjectStore) Seed(bucket, key string, size int64) {
+	b, ok := o.buckets[bucket]
+	if !ok {
+		b = make(map[string]int64)
+		o.buckets[bucket] = b
+	}
+	b[key] = size
+}
+
+// Ops returns lifetime GET and PUT counts.
+func (o *ObjectStore) Ops() (gets, puts int) { return o.gets, o.puts }

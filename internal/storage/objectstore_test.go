@@ -1,0 +1,100 @@
+package storage
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func newStore(t *testing.T) (*sim.Env, *ObjectStore) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	net := testNet(env) // from storage_test.go: submit + w1 at 1000 B/s
+	os := NewObjectStore(env, net, "submit", 1000)
+	if err := os.MakeBucket("data"); err != nil {
+		t.Fatal(err)
+	}
+	return env, os
+}
+
+func TestObjectStorePutGetRoundTrip(t *testing.T) {
+	env, store := newStore(t)
+	env.Go("client", func(p *sim.Proc) {
+		if err := store.Put(p, "w1", "data", "m1.dat", 500); err != nil {
+			t.Fatal(err)
+		}
+		size, err := store.Get(p, "w1", "data", "m1.dat")
+		if err != nil || size != 500 {
+			t.Fatalf("Get = %d, %v", size, err)
+		}
+		// 500 B up + 500 B down at 1000 B/s + service time + latencies.
+		if p.Now() < time.Second {
+			t.Errorf("round trip took %v, expected ≥1s of transfer", p.Now())
+		}
+	})
+	env.Run()
+	gets, puts := store.Ops()
+	if gets != 1 || puts != 1 {
+		t.Errorf("ops = %d gets, %d puts", gets, puts)
+	}
+}
+
+func TestObjectStoreErrors(t *testing.T) {
+	env, store := newStore(t)
+	env.Go("client", func(p *sim.Proc) {
+		if err := store.Put(p, "w1", "ghost", "k", 1); err == nil {
+			t.Error("put to missing bucket succeeded")
+		}
+		if _, err := store.Get(p, "w1", "data", "missing"); err == nil {
+			t.Error("get of missing object succeeded")
+		}
+		if _, err := store.Stat(p, "w1", "data", "missing"); err == nil {
+			t.Error("stat of missing object succeeded")
+		}
+	})
+	env.Run()
+	if err := store.MakeBucket("data"); err == nil {
+		t.Error("duplicate bucket accepted")
+	}
+}
+
+func TestObjectStoreSeedAndStat(t *testing.T) {
+	env, store := newStore(t)
+	store.Seed("data", "in.dat", 12345)
+	env.Go("client", func(p *sim.Proc) {
+		size, err := store.Stat(p, "w1", "data", "in.dat")
+		if err != nil || size != 12345 {
+			t.Fatalf("Stat = %d, %v", size, err)
+		}
+		// HEAD is two control messages: 2 ms at the 1 ms test latency.
+		if p.Now() != 2*time.Millisecond {
+			t.Errorf("Stat took %v, want 2ms", p.Now())
+		}
+	})
+	env.Run()
+}
+
+func TestObjectStoreServiceBandwidthShared(t *testing.T) {
+	env, store := newStore(t)
+	store.Seed("data", "a", 500)
+	store.Seed("data", "b", 500)
+	var done [2]time.Duration
+	for i, key := range []string{"a", "b"} {
+		i, key := i, key
+		env.Go("client", func(p *sim.Proc) {
+			if _, err := store.Get(p, "w1", "data", key); err != nil {
+				t.Error(err)
+			}
+			done[i] = p.Now()
+		})
+	}
+	env.Run()
+	// Two 500 B reads share the 1000 B/s service: service phase ≈1s, then
+	// the w1-bound transfers also share the submit egress.
+	for i, d := range done {
+		if d < time.Second {
+			t.Errorf("get %d finished at %v; service bandwidth not shared", i, d)
+		}
+	}
+}

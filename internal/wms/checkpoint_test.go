@@ -1,0 +1,100 @@
+package wms
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+// cpuServed sums work completed across all worker CPUs.
+func cpuServed(s *stack) float64 {
+	total := 0.0
+	for _, w := range s.cl.Workers {
+		total += w.CPU.Served()
+	}
+	return total
+}
+
+func TestCheckpointingResumesFromLastCheckpoint(t *testing.T) {
+	run := func(every float64) (served float64, ok bool) {
+		s := newStack(t, func(p *config.Params) {
+			p.TaskJitterFrac = 0
+			p.TaskDriftPerTask = 0
+		})
+		s.eng.Retries = 50
+		s.eng.Checkpoint = Checkpoint{
+			Every:         every,
+			CrashPerChunk: 0.5, // brutal mortality
+			FileBytes:     1 << 20,
+		}
+		wf := NewWorkflow("long")
+		// One long task: 20 core-seconds (a "long-running experiment").
+		_ = wf.AddTask(TaskSpec{ID: "sim", Transformation: "matmul", WorkScale: 20 / 0.42})
+		s.env.Go("main", func(p *sim.Proc) {
+			if _, err := s.eng.RunWorkflow(p, wf, AssignAll(ModeNative)); err == nil {
+				ok = true
+			}
+			s.shutdown()
+		})
+		s.env.Run()
+		return cpuServed(s), ok
+	}
+
+	servedFine, okFine := run(2) // checkpoint every 2 core-seconds
+	if !okFine {
+		t.Fatal("checkpointed long task never completed")
+	}
+	// With checkpoints every 2 core-s and 50% chunk mortality, expected
+	// total work ≈ 20 + lost chunks. Without restart-from-checkpoint it
+	// would be vastly more (each crash redoes everything, and with p=0.5
+	// per 2-core-s chunk a from-scratch 20-core-s run almost never
+	// finishes). Bound: served stays within a small multiple of the demand.
+	if servedFine > 3*20 {
+		t.Errorf("checkpointed run burned %.1f core-s for a 20 core-s task", servedFine)
+	}
+
+	servedCoarse, okCoarse := run(20) // single checkpoint at the end = restart from scratch
+	if okCoarse && servedCoarse <= servedFine {
+		t.Errorf("coarse checkpointing (%.1f core-s) did not cost more than fine (%.1f)", servedCoarse, servedFine)
+	}
+}
+
+func TestCheckpointingDisabledLeavesPathUnchanged(t *testing.T) {
+	s := newStack(t, func(p *config.Params) {
+		p.TaskJitterFrac = 0
+		p.TaskDriftPerTask = 0
+	})
+	wf := chain(t, 2)
+	s.env.Go("main", func(p *sim.Proc) {
+		res, err := s.eng.RunWorkflow(p, wf, AssignAll(ModeNative))
+		if err != nil {
+			t.Error(err)
+		} else if res.Makespan() <= 0 {
+			t.Error("bad makespan")
+		}
+		s.shutdown()
+	})
+	s.env.Run()
+	if got := cpuServed(s); got < 0.83 || got > 0.85 {
+		t.Errorf("served = %.3f core-s, want 2 x 0.42", got)
+	}
+}
+
+func TestCheckpointCrashErrorMentionsProgress(t *testing.T) {
+	s := newStack(t, func(p *config.Params) {
+		p.TaskJitterFrac = 0
+	})
+	s.eng.Retries = 0
+	s.eng.Checkpoint = Checkpoint{Every: 0.1, CrashPerChunk: 1.0}
+	wf := chain(t, 1)
+	s.env.Go("main", func(p *sim.Proc) {
+		_, err := s.eng.RunWorkflow(p, wf, AssignAll(ModeNative))
+		if err == nil || !strings.Contains(err.Error(), "failed after") {
+			t.Errorf("err = %v", err)
+		}
+		s.shutdown()
+	})
+	s.env.Run()
+}

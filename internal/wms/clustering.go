@@ -1,0 +1,154 @@
+package wms
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ClusterVertical performs Pegasus-style label-based (vertical) task
+// clustering (§II-C: "Pegasus also performs workflow restructuring and task
+// clustering to improve execution efficiency"): maximal linear runs of up
+// to maxSize same-transformation tasks are merged into single cluster
+// tasks, so a run of k tasks pays one scheduling round trip instead of k.
+//
+// A task joins the cluster ending at its parent only when the parent has
+// exactly one child and the task exactly one parent (a pure chain segment);
+// anything else starts a new cluster. The merged task's service demand is
+// the sum of its members' (via WorkScale); its inputs are the member inputs
+// not produced inside the cluster and its outputs the member outputs
+// consumed outside it (or by nobody, i.e. workflow outputs).
+func ClusterVertical(wf *Workflow, maxSize int) (*Workflow, error) {
+	if maxSize < 1 {
+		return nil, fmt.Errorf("wms: cluster size %d < 1", maxSize)
+	}
+	topo, err := wf.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	if maxSize == 1 {
+		return wf, nil
+	}
+
+	// Assign each task to a cluster.
+	clusterOf := make(map[string]int, wf.Len())
+	var clusters [][]string
+	for _, id := range topo {
+		parents := wf.Parents(id)
+		task, _ := wf.Task(id)
+		if len(parents) == 1 {
+			par := parents[0]
+			ci, ok := clusterOf[par]
+			if ok {
+				members := clusters[ci]
+				tail := members[len(members)-1]
+				tailTask, _ := wf.Task(tail)
+				if tail == par &&
+					len(members) < maxSize &&
+					len(wf.Children(par)) == 1 &&
+					tailTask.Transformation == task.Transformation {
+					clusters[ci] = append(members, id)
+					clusterOf[id] = ci
+					continue
+				}
+			}
+		}
+		clusterOf[id] = len(clusters)
+		clusters = append(clusters, []string{id})
+	}
+
+	// Build the clustered workflow.
+	out := NewWorkflow(wf.Name + "-clustered")
+	names := make([]string, len(clusters))
+	for ci, members := range clusters {
+		name := members[0]
+		if len(members) > 1 {
+			name = members[0] + ".." + members[len(members)-1]
+		}
+		names[ci] = name
+
+		inside := make(map[string]bool, len(members))
+		for _, id := range members {
+			inside[id] = true
+		}
+		produced := make(map[string]bool)
+		consumedInside := make(map[string]bool)
+		for _, id := range members {
+			t, _ := wf.Task(id)
+			for _, f := range t.Outputs {
+				produced[f.LFN] = true
+			}
+			for _, f := range t.Inputs {
+				consumedInside[f.LFN] = true
+			}
+		}
+		// Which produced files does anyone outside the cluster consume?
+		consumedOutside := make(map[string]bool)
+		for _, id := range wf.TaskIDs() {
+			if inside[id] {
+				continue
+			}
+			t, _ := wf.Task(id)
+			for _, f := range t.Inputs {
+				consumedOutside[f.LFN] = true
+			}
+		}
+
+		merged := TaskSpec{ID: name}
+		seenIn := make(map[string]bool)
+		seenOut := make(map[string]bool)
+		for i, id := range members {
+			t, _ := wf.Task(id)
+			if i == 0 {
+				merged.Transformation = t.Transformation
+			}
+			merged.WorkScale += t.EffectiveWorkScale()
+			for _, f := range t.Inputs {
+				if !produced[f.LFN] && !seenIn[f.LFN] {
+					seenIn[f.LFN] = true
+					merged.Inputs = append(merged.Inputs, f)
+				}
+			}
+			// Keep an output if someone outside the cluster consumes it, or
+			// nobody consumes it at all (a workflow-final output). Outputs
+			// consumed only inside the cluster stay in the job's sandbox.
+			for _, f := range t.Outputs {
+				keep := consumedOutside[f.LFN] || !consumedInside[f.LFN]
+				if keep && !seenOut[f.LFN] {
+					seenOut[f.LFN] = true
+					merged.Outputs = append(merged.Outputs, f)
+				}
+			}
+		}
+		if err := out.AddTask(merged); err != nil {
+			return nil, err
+		}
+	}
+
+	// Re-map dependencies between clusters.
+	added := make(map[string]bool)
+	for ci, members := range clusters {
+		for _, id := range members {
+			for _, par := range wf.Parents(id) {
+				pi := clusterOf[par]
+				if pi == ci {
+					continue
+				}
+				key := names[pi] + "→" + names[ci]
+				if added[key] {
+					continue
+				}
+				added[key] = true
+				if err := out.AddDependency(names[pi], names[ci]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("wms: clustering produced invalid workflow: %w", err)
+	}
+	return out, nil
+}
+
+// ClusterName reports whether an ID is a merged cluster (for diagnostics).
+func ClusterName(id string) bool { return strings.Contains(id, "..") }

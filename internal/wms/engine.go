@@ -1,0 +1,379 @@
+package wms
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/condor"
+	"repro/internal/config"
+	"repro/internal/crt"
+	"repro/internal/knative"
+	"repro/internal/registry"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// ServiceResolver maps a transformation name to its deployed serverless
+// function. The integration layer (internal/core) provides it after
+// registering functions with Knative.
+type ServiceResolver func(transformation string) (*knative.Service, bool)
+
+// DataStaging selects how task data moves between jobs (§V-E discusses the
+// alternatives).
+type DataStaging int
+
+const (
+	// StageByValue is the paper's implemented strategy: inputs and outputs
+	// travel in condor file-transfer sandboxes, and serverless invocations
+	// carry file contents in the request/response bodies (§IV-3).
+	StageByValue DataStaging = iota
+	// StageSharedFS is the alternative strategy (§V-E): files live on a
+	// shared filesystem exported by the submit node; every task reads its
+	// inputs from and writes its outputs to the share, and serverless
+	// requests carry only references.
+	StageSharedFS
+	// StageObjectStore keeps files in a Minio-like object service (§V-E
+	// names Minio explicitly): tasks GET inputs and PUT outputs; requests
+	// carry only object references.
+	StageObjectStore
+)
+
+func (d DataStaging) String() string {
+	switch d {
+	case StageByValue:
+		return "by-value"
+	case StageSharedFS:
+		return "shared-fs"
+	case StageObjectStore:
+		return "object-store"
+	default:
+		return fmt.Sprintf("DataStaging(%d)", int(d))
+	}
+}
+
+// referenceBytes is the size of a file-reference manifest when data stays
+// on the shared filesystem.
+const referenceBytes = 512
+
+// TaskResult records how one task executed.
+type TaskResult struct {
+	ID       string
+	Mode     Mode
+	Node     string
+	Attempts int
+
+	SubmittedAt time.Duration
+	StartedAt   time.Duration
+	FinishedAt  time.Duration
+}
+
+// RunResult summarises one workflow run.
+type RunResult struct {
+	Workflow   string
+	StartedAt  time.Duration
+	FinishedAt time.Duration
+	Tasks      map[string]*TaskResult
+}
+
+// Makespan is the workflow's wall-clock duration.
+func (r *RunResult) Makespan() time.Duration { return r.FinishedAt - r.StartedAt }
+
+// ModeCount returns how many tasks ran in the given mode.
+func (r *RunResult) ModeCount(m Mode) int {
+	n := 0
+	for _, t := range r.Tasks {
+		if t.Mode == m {
+			n++
+		}
+	}
+	return n
+}
+
+// Engine is the DAGMan-like executor: it plans each abstract task into a
+// condor job for its assigned mode and drives the DAG, polling the queue
+// every DAGManPoll like condor_dagman does.
+type Engine struct {
+	Env      *sim.Env
+	Cl       *cluster.Cluster
+	Pool     *condor.Schedd
+	Runtimes crt.Set
+	Reg      *registry.Registry
+	Catalogs *Catalogs
+	Prm      config.Params
+	// Services resolves serverless functions; required only when some task
+	// is assigned ModeServerless.
+	Services ServiceResolver
+	// Retries is how many times a failed task is resubmitted before the
+	// workflow aborts (Pegasus-style retry).
+	Retries int
+	// Staging selects the data-movement strategy (default StageByValue).
+	Staging DataStaging
+	// FS is the shared filesystem, required when Staging is StageSharedFS.
+	FS *storage.SharedFS
+	// Store is the object service, required when Staging is
+	// StageObjectStore. Objects live in the workflow-named bucket.
+	Store *storage.ObjectStore
+	// Checkpoint configures checkpoint/restart for native tasks (§II-C).
+	Checkpoint Checkpoint
+	// MaxInflight throttles how many of a workflow's jobs may be in the
+	// condor queue at once (DAGMan's -maxjobs); 0 = unlimited.
+	MaxInflight int
+
+	progress map[string]*taskProgress
+}
+
+// RunWorkflow executes the workflow with the given mode assignment and
+// blocks until it completes. It returns per-task provenance.
+func (e *Engine) RunWorkflow(p *sim.Proc, wf *Workflow, assign ModeAssigner) (*RunResult, error) {
+	if err := wf.Validate(); err != nil {
+		return nil, err
+	}
+	switch e.Staging {
+	case StageSharedFS:
+		if e.FS == nil {
+			return nil, fmt.Errorf("wms: shared-fs staging needs Engine.FS")
+		}
+		// The replica catalog's job: workflow inputs are already on the
+		// share before the run begins.
+		for _, f := range wf.ExternalInputs() {
+			e.FS.Touch(f.LFN, f.Bytes)
+		}
+	case StageObjectStore:
+		if e.Store == nil {
+			return nil, fmt.Errorf("wms: object-store staging needs Engine.Store")
+		}
+		for _, f := range wf.ExternalInputs() {
+			e.Store.Seed(wf.Name, f.LFN, f.Bytes)
+		}
+	}
+	modes := make(map[string]Mode, wf.Len())
+	for _, id := range wf.TaskIDs() {
+		modes[id] = assign(wf.Name, id)
+	}
+
+	res := &RunResult{
+		Workflow:  wf.Name,
+		StartedAt: p.Now(),
+		Tasks:     make(map[string]*TaskResult, wf.Len()),
+	}
+	done := make(map[string]bool, wf.Len())
+	attempts := make(map[string]int, wf.Len())
+	inflight := make(map[string]*condor.Job)
+
+	ready := func(id string) bool {
+		if done[id] || inflight[id] != nil {
+			return false
+		}
+		for _, par := range wf.Parents(id) {
+			if !done[par] {
+				return false
+			}
+		}
+		return true
+	}
+
+	submitReady := func() error {
+		for _, id := range wf.TaskIDs() {
+			if e.MaxInflight > 0 && len(inflight) >= e.MaxInflight {
+				return nil // DAGMan -maxjobs throttle
+			}
+			if !ready(id) {
+				continue
+			}
+			task, _ := wf.Task(id)
+			job, err := e.submitTask(wf, task, modes[id])
+			if err != nil {
+				return err
+			}
+			attempts[id]++
+			inflight[id] = job
+		}
+		return nil
+	}
+
+	// DAGMan instances start with independent poll phases (they are separate
+	// condor_dagman processes in reality); without this, concurrent
+	// workflows lock step to the negotiation cycle and per-task overheads
+	// vanish into the quantization.
+	p.Sleep(time.Duration(p.Rand().Float64() * float64(e.Prm.DAGManPoll)))
+
+	if err := submitReady(); err != nil {
+		return nil, err
+	}
+	for len(done) < wf.Len() {
+		p.Sleep(e.Prm.DAGManPoll)
+		ids := make([]string, 0, len(inflight))
+		for id := range inflight {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			job := inflight[id]
+			switch job.Status() {
+			case condor.StatusCompleted:
+				delete(inflight, id)
+				done[id] = true
+				res.Tasks[id] = &TaskResult{
+					ID:          id,
+					Mode:        modes[id],
+					Node:        job.Node(),
+					Attempts:    attempts[id],
+					SubmittedAt: job.SubmittedAt,
+					StartedAt:   job.StartedAt,
+					FinishedAt:  job.FinishedAt,
+				}
+			case condor.StatusFailed:
+				delete(inflight, id)
+				if attempts[id] > e.Retries {
+					return nil, fmt.Errorf("wms: task %s/%s failed after %d attempts", wf.Name, id, attempts[id])
+				}
+			}
+		}
+		if err := submitReady(); err != nil {
+			return nil, err
+		}
+	}
+	res.FinishedAt = p.Now()
+	return res, nil
+}
+
+// submitTask plans one task into a condor job for its mode and submits it.
+func (e *Engine) submitTask(wf *Workflow, task *TaskSpec, mode Mode) (*condor.Job, error) {
+	tr, ok := e.Catalogs.Transformation(task.Transformation)
+	if !ok {
+		return nil, fmt.Errorf("wms: unknown transformation %q", task.Transformation)
+	}
+	name := wf.Name + "/" + task.ID
+	var requires func(*cluster.Node) bool
+	if task.RequireNode != "" {
+		want := task.RequireNode
+		requires = func(n *cluster.Node) bool { return n.Name == want }
+	}
+	remoteData := e.Staging != StageByValue
+
+	// Sandbox sizes: with condorio staging the matrices travel with the
+	// job; with a shared filesystem or object store only tiny manifests do.
+	inBytes, outBytes := task.InputBytes(), task.OutputBytes()
+	if remoteData {
+		inBytes, outBytes = referenceBytes, referenceBytes
+	}
+
+	// stageIn/stageOut touch the data service from the execution node when
+	// remote staging is on; no-ops for condorio.
+	stageIn := func(p *sim.Proc, node string) error {
+		for _, f := range task.Inputs {
+			switch e.Staging {
+			case StageSharedFS:
+				if _, err := e.FS.Read(p, node, f.LFN); err != nil {
+					return err
+				}
+			case StageObjectStore:
+				if _, err := e.Store.Get(p, node, wf.Name, f.LFN); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	stageOut := func(p *sim.Proc, node string) error {
+		for _, f := range task.Outputs {
+			switch e.Staging {
+			case StageSharedFS:
+				e.FS.Write(p, node, f.LFN, f.Bytes)
+			case StageObjectStore:
+				if err := e.Store.Put(p, node, wf.Name, f.LFN, f.Bytes); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	switch mode {
+	case ModeNative:
+		// Setup 1: the task runs straight on the claimed slot.
+		return e.Pool.SubmitConstrained(name, task.Priority, requires, inBytes, outBytes, func(ctx *condor.ExecContext) error {
+			if err := stageIn(ctx.Proc, ctx.Node.Name); err != nil {
+				return err
+			}
+			if e.checkpointingActive() {
+				if err := e.runCheckpointed(ctx, name, task.EffectiveWorkScale()); err != nil {
+					return err
+				}
+			} else {
+				work := e.Cl.NextTaskWork() * task.EffectiveWorkScale()
+				ctx.Node.Exec(ctx.Proc, work, 1)
+			}
+			return stageOut(ctx.Proc, ctx.Node.Name)
+		}), nil
+
+	case ModeContainer:
+		// Setup 2: the image travels with the job, is loaded on the worker,
+		// and a fresh container runs the task under a one-core quota.
+		img, ok := e.Reg.Image(tr.Image)
+		if !ok {
+			return nil, fmt.Errorf("wms: image %q for transformation %q not in registry", tr.Image, tr.Name)
+		}
+		return e.Pool.SubmitConstrained(name, task.Priority, requires, inBytes+img.Bytes(), outBytes, func(ctx *condor.ExecContext) error {
+			rt, ok := e.Runtimes[ctx.Node.Name]
+			if !ok {
+				return fmt.Errorf("wms: no container runtime on %s", ctx.Node.Name)
+			}
+			rt.ImportImage(ctx.Proc, img)
+			c, err := rt.Create(ctx.Proc, img.Name, 1)
+			if err != nil {
+				return err
+			}
+			if err := c.Start(ctx.Proc); err != nil {
+				return err
+			}
+			if err := stageIn(ctx.Proc, ctx.Node.Name); err != nil {
+				return err
+			}
+			work := e.Cl.NextTaskWork() * task.EffectiveWorkScale()
+			if err := c.Exec(ctx.Proc, work); err != nil {
+				return err
+			}
+			if err := stageOut(ctx.Proc, ctx.Node.Name); err != nil {
+				return err
+			}
+			return c.StopRemove(ctx.Proc)
+		}), nil
+
+	case ModeServerless:
+		// Setup 3: the original job is replaced by an invoker wrapper. The
+		// wrapper is itself a condor job (the critical path includes it,
+		// §IV-4). With by-value staging, inputs come to the wrapper's node
+		// and travel to the function in the request body; with shared-fs
+		// staging the function's node reads the share directly.
+		if e.Services == nil {
+			return nil, fmt.Errorf("wms: task %s assigned serverless but no service resolver configured", name)
+		}
+		svc, ok := e.Services(task.Transformation)
+		if !ok {
+			return nil, fmt.Errorf("wms: no serverless function registered for transformation %q", task.Transformation)
+		}
+		return e.Pool.SubmitConstrained(name, task.Priority, requires, inBytes, outBytes, func(ctx *condor.ExecContext) error {
+			ctx.Proc.Sleep(e.Prm.WrapperStartup) // python invoker script startup
+			work := e.Cl.NextTaskWork() * task.EffectiveWorkScale()
+			req := knative.Request{
+				From:       ctx.Node.Name,
+				PayloadIn:  task.InputBytes(),
+				PayloadOut: task.OutputBytes(),
+				Work:       work,
+			}
+			if remoteData {
+				req.PayloadIn, req.PayloadOut = referenceBytes, referenceBytes
+				req.StageIn = stageIn
+				req.StageOut = stageOut
+			}
+			_, err := svc.Invoke(ctx.Proc, req)
+			return err
+		}), nil
+
+	default:
+		return nil, fmt.Errorf("wms: unknown mode %v", mode)
+	}
+}

@@ -1,0 +1,100 @@
+package wms
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Mode selects one of the paper's three execution environments for a task
+// (§V-C).
+type Mode int
+
+// Execution modes.
+const (
+	// ModeNative runs the task directly on the claimed condor slot
+	// (Setup 1): fastest, no isolation.
+	ModeNative Mode = iota
+	// ModeContainer runs the task in a fresh container whose image travels
+	// with the job (Setup 2): strong isolation, per-task image transfer,
+	// load, create and destroy overheads.
+	ModeContainer
+	// ModeServerless replaces the task with a wrapper that invokes the
+	// pre-registered Knative function, passing files by value (Setup 3):
+	// container isolation with reuse.
+	ModeServerless
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNative:
+		return "native"
+	case ModeContainer:
+		return "container"
+	case ModeServerless:
+		return "serverless"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ModeAssigner decides the execution environment of each task.
+type ModeAssigner func(workflow, taskID string) Mode
+
+// AssignAll runs every task in the given mode.
+func AssignAll(m Mode) ModeAssigner {
+	return func(string, string) Mode { return m }
+}
+
+// AssignFractions distributes tasks randomly across modes with the given
+// weights (they need not sum to 1; they are normalised). This mirrors the
+// paper's §V-C: "the distribution of tasks among these platforms is
+// determined randomly before initiating the 10 workflows".
+func AssignFractions(rng *sim.RNG, native, container, serverless float64) ModeAssigner {
+	total := native + container + serverless
+	if total <= 0 {
+		panic("wms: AssignFractions with non-positive total weight")
+	}
+	return func(string, string) Mode {
+		x := rng.Float64() * total
+		switch {
+		case x < native:
+			return ModeNative
+		case x < native+container:
+			return ModeContainer
+		default:
+			return ModeServerless
+		}
+	}
+}
+
+// Transformation is a transformation-catalog entry: an executable the
+// workflow can invoke, with the container image that packages it for the
+// container and serverless paths.
+type Transformation struct {
+	// Name is the transformation's logical name.
+	Name string
+	// Image is the container image name in the registry.
+	Image string
+}
+
+// Catalogs bundles the Pegasus catalogs the planner consults.
+type Catalogs struct {
+	transformations map[string]Transformation
+}
+
+// NewCatalogs returns empty catalogs.
+func NewCatalogs() *Catalogs {
+	return &Catalogs{transformations: make(map[string]Transformation)}
+}
+
+// AddTransformation registers a transformation.
+func (c *Catalogs) AddTransformation(t Transformation) {
+	c.transformations[t.Name] = t
+}
+
+// Transformation resolves a transformation by name.
+func (c *Catalogs) Transformation(name string) (Transformation, bool) {
+	t, ok := c.transformations[name]
+	return t, ok
+}

@@ -1,0 +1,118 @@
+package wms
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Provenance is the JSON record of a workflow run — the equivalent of
+// Pegasus's kickstart/monitord provenance, consumable by external analysis
+// tools.
+type Provenance struct {
+	Workflow     string           `json:"workflow"`
+	StartedSec   float64          `json:"started_s"`
+	FinishedSec  float64          `json:"finished_s"`
+	MakespanSec  float64          `json:"makespan_s"`
+	Tasks        []TaskProvenance `json:"tasks"`
+	ModeCounts   map[string]int   `json:"mode_counts"`
+	TotalRetries int              `json:"total_retries"`
+}
+
+// TaskProvenance records one task's execution.
+type TaskProvenance struct {
+	ID           string  `json:"id"`
+	Mode         string  `json:"mode"`
+	Node         string  `json:"node"`
+	Attempts     int     `json:"attempts"`
+	SubmittedSec float64 `json:"submitted_s"`
+	StartedSec   float64 `json:"started_s"`
+	FinishedSec  float64 `json:"finished_s"`
+	QueuedSec    float64 `json:"queued_s"`
+	ExecSec      float64 `json:"exec_s"`
+}
+
+// Provenance converts the run into its exportable record. Tasks appear in
+// the workflow's declaration order when wf is supplied, or sorted by start
+// time when wf is nil.
+func (r *RunResult) Provenance(wf *Workflow) Provenance {
+	p := Provenance{
+		Workflow:    r.Workflow,
+		StartedSec:  r.StartedAt.Seconds(),
+		FinishedSec: r.FinishedAt.Seconds(),
+		MakespanSec: r.Makespan().Seconds(),
+		ModeCounts:  make(map[string]int),
+	}
+	ids := make([]string, 0, len(r.Tasks))
+	if wf != nil {
+		for _, id := range wf.TaskIDs() {
+			if _, ok := r.Tasks[id]; ok {
+				ids = append(ids, id)
+			}
+		}
+	} else {
+		for id := range r.Tasks {
+			ids = append(ids, id)
+		}
+		sortByStart(ids, r.Tasks)
+	}
+	for _, id := range ids {
+		t := r.Tasks[id]
+		p.Tasks = append(p.Tasks, TaskProvenance{
+			ID:           t.ID,
+			Mode:         t.Mode.String(),
+			Node:         t.Node,
+			Attempts:     t.Attempts,
+			SubmittedSec: t.SubmittedAt.Seconds(),
+			StartedSec:   t.StartedAt.Seconds(),
+			FinishedSec:  t.FinishedAt.Seconds(),
+			QueuedSec:    (t.StartedAt - t.SubmittedAt).Seconds(),
+			ExecSec:      (t.FinishedAt - t.StartedAt).Seconds(),
+		})
+		p.ModeCounts[t.Mode.String()]++
+		p.TotalRetries += t.Attempts - 1
+	}
+	return p
+}
+
+func sortByStart(ids []string, tasks map[string]*TaskResult) {
+	less := func(a, b string) bool {
+		ta, tb := tasks[a], tasks[b]
+		if ta.StartedAt != tb.StartedAt {
+			return ta.StartedAt < tb.StartedAt
+		}
+		return a < b
+	}
+	// Insertion sort: id lists are small and this keeps the file free of
+	// another sort.Slice closure allocation in the hot path.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && less(ids[j], ids[j-1]); j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// WriteProvenance writes the run's provenance as indented JSON.
+func (r *RunResult) WriteProvenance(w io.Writer, wf *Workflow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.Provenance(wf)); err != nil {
+		return fmt.Errorf("wms: encoding provenance: %w", err)
+	}
+	return nil
+}
+
+// ReadProvenance parses a provenance record written by WriteProvenance.
+func ReadProvenance(rd io.Reader) (Provenance, error) {
+	var p Provenance
+	if err := json.NewDecoder(rd).Decode(&p); err != nil {
+		return Provenance{}, fmt.Errorf("wms: decoding provenance: %w", err)
+	}
+	return p, nil
+}
+
+// Duration is a convenience accessor for analysis code.
+func (tp TaskProvenance) Duration() time.Duration {
+	return time.Duration((tp.FinishedSec - tp.SubmittedSec) * float64(time.Second))
+}

@@ -1,0 +1,256 @@
+package wms
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+func withSharedFS(t *testing.T, s *stack) *storage.SharedFS {
+	t.Helper()
+	fs := storage.NewSharedFS(s.env, s.cl.Net, cluster.SubmitNodeName, 400e6)
+	s.eng.Staging = StageSharedFS
+	s.eng.FS = fs
+	return fs
+}
+
+func TestSharedFSStagingNativeChain(t *testing.T) {
+	s := newStack(t, nil)
+	fs := withSharedFS(t, s)
+	wf := chain(t, 3)
+	s.env.Go("main", func(p *sim.Proc) {
+		res, err := s.eng.RunWorkflow(p, wf, AssignAll(ModeNative))
+		if err != nil {
+			t.Error(err)
+		} else if res.Makespan() <= 0 {
+			t.Error("bad makespan")
+		}
+		s.shutdown()
+	})
+	s.env.Run()
+	// Every intermediate product landed on the share.
+	for i := 1; i <= 3; i++ {
+		if !fs.Has(lfn(i)) {
+			t.Errorf("output %s missing from shared fs", lfn(i))
+		}
+	}
+}
+
+func TestSharedFSStagingServerlessCarriesReferencesOnly(t *testing.T) {
+	s := newStack(t, nil)
+	withSharedFS(t, s)
+	wf := chain(t, 3)
+	var sent, total int64
+	s.env.Go("main", func(p *sim.Proc) {
+		s.deployFunction(p, t)
+		sentBase := s.cl.Net.BytesSent(cluster.SubmitNodeName)
+		totalBase := s.cl.Net.TotalBytesSent()
+		res, err := s.eng.RunWorkflow(p, wf, AssignAll(ModeServerless))
+		if err != nil {
+			t.Error(err)
+		} else if res.ModeCount(ModeServerless) != 3 {
+			t.Errorf("serverless tasks = %d", res.ModeCount(ModeServerless))
+		}
+		sent = s.cl.Net.BytesSent(cluster.SubmitNodeName) - sentBase
+		total = s.cl.Net.TotalBytesSent() - totalBase
+		s.shutdown()
+	})
+	s.env.Run()
+	// With references in the request bodies the fabric carries each input
+	// once (share → function node) and each output once (function node →
+	// share): no wrapper double hop. Total traffic is therefore the submit
+	// share's reads plus the outputs written back, with only manifest
+	// slack on top.
+	outputs := int64(3 * 980000)
+	if total > sent+outputs+200_000 {
+		t.Errorf("total traffic %d > reads %d + writes %d: double data movement not avoided", total, sent, outputs)
+	}
+}
+
+func TestSharedFSStagingMissingEngineFS(t *testing.T) {
+	s := newStack(t, nil)
+	s.eng.Staging = StageSharedFS // FS left nil
+	wf := chain(t, 1)
+	s.env.Go("main", func(p *sim.Proc) {
+		if _, err := s.eng.RunWorkflow(p, wf, AssignAll(ModeNative)); err == nil {
+			t.Error("shared-fs staging without FS accepted")
+		}
+		s.shutdown()
+	})
+	s.env.Run()
+}
+
+func TestFaultInjectionRetriesToCompletion(t *testing.T) {
+	s := newStack(t, func(p *config.Params) {
+		p.JobFailureProb = 0.3
+	})
+	s.eng.Retries = 10
+	wf := chain(t, 5)
+	s.env.Go("main", func(p *sim.Proc) {
+		res, err := s.eng.RunWorkflow(p, wf, AssignAll(ModeNative))
+		if err != nil {
+			t.Errorf("workflow failed despite retries: %v", err)
+		} else {
+			attempts := 0
+			for _, task := range res.Tasks {
+				attempts += task.Attempts
+			}
+			if attempts < 5 {
+				t.Errorf("attempts = %d", attempts)
+			}
+		}
+		s.shutdown()
+	})
+	s.env.Run()
+}
+
+func TestFaultInjectionAbortsWithoutRetries(t *testing.T) {
+	s := newStack(t, func(p *config.Params) {
+		p.JobFailureProb = 1.0 // every job dies
+	})
+	s.eng.Retries = 2
+	wf := chain(t, 1)
+	s.env.Go("main", func(p *sim.Proc) {
+		if _, err := s.eng.RunWorkflow(p, wf, AssignAll(ModeNative)); err == nil {
+			t.Error("workflow succeeded under 100% failure injection")
+		}
+		s.shutdown()
+	})
+	s.env.Run()
+}
+
+func TestMaxInflightThrottlesSubmissions(t *testing.T) {
+	// A 6-task fan-out with -maxjobs 2: never more than two jobs queued or
+	// running at a time, so submissions serialize into waves.
+	s := newStack(t, nil)
+	s.eng.MaxInflight = 2
+	wf := NewWorkflow("fan")
+	for i := 0; i < 6; i++ {
+		if err := wf.AddTask(TaskSpec{ID: taskID(i), Transformation: "matmul"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var res *RunResult
+	s.env.Go("main", func(p *sim.Proc) {
+		r, err := s.eng.RunWorkflow(p, wf, AssignAll(ModeNative))
+		if err != nil {
+			t.Error(err)
+		}
+		res = r
+		s.shutdown()
+	})
+	s.env.Run()
+	if res == nil {
+		t.Fatal("no result")
+	}
+	// With the throttle, no more than 2 tasks are ever simultaneously in
+	// the queue: sweep submission/finish events and track the running count.
+	type event struct {
+		at    time.Duration
+		delta int
+	}
+	var events []event
+	for _, task := range res.Tasks {
+		events = append(events, event{task.SubmittedAt, +1}, event{task.FinishedAt, -1})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].delta < events[j].delta // finishes before submits at ties
+	})
+	cur, peak := 0, 0
+	for _, ev := range events {
+		cur += ev.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	if peak > 2 {
+		t.Errorf("peak in-queue tasks = %d; -maxjobs 2 violated", peak)
+	}
+}
+
+func TestWorkScaleMultipliesExecution(t *testing.T) {
+	s := newStack(t, func(p *config.Params) {
+		p.TaskJitterFrac = 0
+		p.TaskDriftPerTask = 0
+	})
+	wf := NewWorkflow("scaled")
+	_ = wf.AddTask(TaskSpec{ID: "small", Transformation: "matmul", WorkScale: 1})
+	_ = wf.AddTask(TaskSpec{ID: "big", Transformation: "matmul", WorkScale: 4})
+	s.env.Go("main", func(p *sim.Proc) {
+		res, err := s.eng.RunWorkflow(p, wf, AssignAll(ModeNative))
+		if err != nil {
+			t.Error(err)
+		} else {
+			smallExec := res.Tasks["small"].FinishedAt - res.Tasks["small"].StartedAt
+			bigExec := res.Tasks["big"].FinishedAt - res.Tasks["big"].StartedAt
+			ratio := float64(bigExec) / float64(smallExec)
+			if ratio < 3.5 || ratio > 4.5 {
+				t.Errorf("exec ratio = %.2f, want ≈4 (WorkScale)", ratio)
+			}
+		}
+		s.shutdown()
+	})
+	s.env.Run()
+}
+
+func TestObjectStoreStagingServerless(t *testing.T) {
+	s := newStack(t, nil)
+	store := storage.NewObjectStore(s.env, s.cl.Net, cluster.SubmitNodeName, 400e6)
+	s.eng.Staging = StageObjectStore
+	s.eng.Store = store
+	wf := chain(t, 3)
+	s.env.Go("main", func(p *sim.Proc) {
+		s.deployFunction(p, t)
+		res, err := s.eng.RunWorkflow(p, wf, AssignAll(ModeServerless))
+		if err != nil {
+			t.Error(err)
+		} else if len(res.Tasks) != 3 {
+			t.Errorf("tasks = %d", len(res.Tasks))
+		}
+		s.shutdown()
+	})
+	s.env.Run()
+	gets, puts := store.Ops()
+	// 3 tasks x 2 inputs GET and 1 output PUT each.
+	if gets != 6 || puts != 3 {
+		t.Errorf("ops = %d gets %d puts, want 6/3", gets, puts)
+	}
+}
+
+func TestObjectStoreStagingMissingStore(t *testing.T) {
+	s := newStack(t, nil)
+	s.eng.Staging = StageObjectStore // Store left nil
+	wf := chain(t, 1)
+	s.env.Go("main", func(p *sim.Proc) {
+		if _, err := s.eng.RunWorkflow(p, wf, AssignAll(ModeNative)); err == nil {
+			t.Error("object-store staging without Store accepted")
+		}
+		s.shutdown()
+	})
+	s.env.Run()
+}
+
+func TestRequireNodePinsTask(t *testing.T) {
+	s := newStack(t, nil)
+	wf := NewWorkflow("pin")
+	_ = wf.AddTask(TaskSpec{ID: "a", Transformation: "matmul", RequireNode: "worker3"})
+	_ = wf.AddTask(TaskSpec{ID: "b", Transformation: "matmul"})
+	s.env.Go("main", func(p *sim.Proc) {
+		res, err := s.eng.RunWorkflow(p, wf, AssignAll(ModeNative))
+		if err != nil {
+			t.Error(err)
+		} else if res.Tasks["a"].Node != "worker3" {
+			t.Errorf("pinned task ran on %s", res.Tasks["a"].Node)
+		}
+		s.shutdown()
+	})
+	s.env.Run()
+}

@@ -1,0 +1,234 @@
+// Package wms is the Pegasus-like workflow management system: abstract
+// workflows of transformations over logical files, catalogs resolving
+// transformations and replicas, a planner that maps each task onto one of
+// the paper's three execution environments (native, traditional container,
+// serverless), and a DAGMan-style engine that drives the plan through the
+// condor pool.
+//
+// Data staging follows Pegasus's condorio style: logical files live on the
+// submit node and travel inside each job's condor file-transfer sandbox, so
+// every task's inputs leave through the submit uplink and its outputs return
+// there — including, in container mode, the container image itself (§IV,
+// Vahi et al.).
+package wms
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FileSpec is a logical file with its size.
+type FileSpec struct {
+	// LFN is the logical file name, unique within a workflow run.
+	LFN string
+	// Bytes is the file's size.
+	Bytes int64
+}
+
+// TaskSpec is one abstract job: an invocation of a transformation over
+// logical files.
+type TaskSpec struct {
+	// ID is unique within the workflow.
+	ID string
+	// Transformation names the executable in the transformation catalog.
+	Transformation string
+	// Inputs and Outputs are the task's file uses.
+	Inputs  []FileSpec
+	Outputs []FileSpec
+	// WorkScale multiplies the transformation's service demand (0 means 1).
+	// Task resizing (§IX-C) splits a task into subtasks with WorkScale
+	// 1/k plus a split overhead.
+	WorkScale float64
+	// Priority orders the task's condor job against others competing for
+	// slots (higher first).
+	Priority int
+	// RequireNode pins the task to a named worker (a simple ClassAd
+	// requirement); empty runs anywhere.
+	RequireNode string
+}
+
+// EffectiveWorkScale returns WorkScale with the zero value defaulted to 1.
+func (t *TaskSpec) EffectiveWorkScale() float64 {
+	if t.WorkScale <= 0 {
+		return 1
+	}
+	return t.WorkScale
+}
+
+// InputBytes sums the task's input sizes.
+func (t *TaskSpec) InputBytes() int64 {
+	var n int64
+	for _, f := range t.Inputs {
+		n += f.Bytes
+	}
+	return n
+}
+
+// OutputBytes sums the task's output sizes.
+func (t *TaskSpec) OutputBytes() int64 {
+	var n int64
+	for _, f := range t.Outputs {
+		n += f.Bytes
+	}
+	return n
+}
+
+// Workflow is an abstract DAG of tasks.
+type Workflow struct {
+	Name    string
+	tasks   map[string]*TaskSpec
+	order   []string            // insertion order, for determinism
+	parents map[string][]string // child → parents
+	childs  map[string][]string // parent → children
+}
+
+// NewWorkflow returns an empty workflow.
+func NewWorkflow(name string) *Workflow {
+	return &Workflow{
+		Name:    name,
+		tasks:   make(map[string]*TaskSpec),
+		parents: make(map[string][]string),
+		childs:  make(map[string][]string),
+	}
+}
+
+// AddTask registers a task. Duplicate IDs are an error.
+func (w *Workflow) AddTask(t TaskSpec) error {
+	if t.ID == "" {
+		return fmt.Errorf("wms: task with empty ID")
+	}
+	if _, dup := w.tasks[t.ID]; dup {
+		return fmt.Errorf("wms: duplicate task %q", t.ID)
+	}
+	spec := t
+	w.tasks[t.ID] = &spec
+	w.order = append(w.order, t.ID)
+	return nil
+}
+
+// AddDependency declares that child runs after parent.
+func (w *Workflow) AddDependency(parent, child string) error {
+	if _, ok := w.tasks[parent]; !ok {
+		return fmt.Errorf("wms: dependency references unknown task %q", parent)
+	}
+	if _, ok := w.tasks[child]; !ok {
+		return fmt.Errorf("wms: dependency references unknown task %q", child)
+	}
+	w.parents[child] = append(w.parents[child], parent)
+	w.childs[parent] = append(w.childs[parent], child)
+	return nil
+}
+
+// Task returns a task by ID.
+func (w *Workflow) Task(id string) (*TaskSpec, bool) {
+	t, ok := w.tasks[id]
+	return t, ok
+}
+
+// TaskIDs returns all task IDs in insertion order.
+func (w *Workflow) TaskIDs() []string {
+	return append([]string(nil), w.order...)
+}
+
+// Parents returns a task's parents.
+func (w *Workflow) Parents(id string) []string { return w.parents[id] }
+
+// Children returns a task's children.
+func (w *Workflow) Children(id string) []string { return w.childs[id] }
+
+// Len returns the number of tasks.
+func (w *Workflow) Len() int { return len(w.tasks) }
+
+// TopoOrder returns a topological ordering, or an error if the DAG has a
+// cycle.
+func (w *Workflow) TopoOrder() ([]string, error) {
+	indeg := make(map[string]int, len(w.tasks))
+	for _, id := range w.order {
+		indeg[id] = len(w.parents[id])
+	}
+	var queue []string
+	for _, id := range w.order {
+		if indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	var out []string
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		out = append(out, id)
+		for _, c := range w.childs[id] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if len(out) != len(w.tasks) {
+		return nil, fmt.Errorf("wms: workflow %s has a cycle", w.Name)
+	}
+	return out, nil
+}
+
+// ExternalInputs returns the logical files consumed by the workflow but
+// produced by none of its tasks — these must be present on the submit node
+// before the run (the replica catalog's job).
+func (w *Workflow) ExternalInputs() []FileSpec {
+	produced := make(map[string]bool)
+	for _, t := range w.tasks {
+		for _, f := range t.Outputs {
+			produced[f.LFN] = true
+		}
+	}
+	seen := make(map[string]FileSpec)
+	for _, t := range w.tasks {
+		for _, f := range t.Inputs {
+			if !produced[f.LFN] {
+				seen[f.LFN] = f
+			}
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]FileSpec, len(names))
+	for i, n := range names {
+		out[i] = seen[n]
+	}
+	return out
+}
+
+// Validate checks structural soundness: acyclicity and that every task
+// input is either an external input or produced by an ancestor.
+func (w *Workflow) Validate() error {
+	topo, err := w.TopoOrder()
+	if err != nil {
+		return err
+	}
+	external := make(map[string]bool)
+	for _, f := range w.ExternalInputs() {
+		external[f.LFN] = true
+	}
+	// available[task] = set of LFNs visible to it via ancestors.
+	availAt := make(map[string]map[string]bool, len(w.tasks))
+	for _, id := range topo {
+		avail := make(map[string]bool)
+		for _, par := range w.parents[id] {
+			for lfn := range availAt[par] {
+				avail[lfn] = true
+			}
+			for _, f := range w.tasks[par].Outputs {
+				avail[f.LFN] = true
+			}
+		}
+		for _, f := range w.tasks[id].Inputs {
+			if !external[f.LFN] && !avail[f.LFN] {
+				return fmt.Errorf("wms: task %s input %q is produced by a non-ancestor", id, f.LFN)
+			}
+		}
+		availAt[id] = avail
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+// Package workload generates the workflows of the paper's evaluation: the
+// sequential matrix-multiplication chain of Fig. 3, the set of concurrent
+// chains of Fig. 4, and the flat fan-out used by the parallel-scaling
+// motivation experiment (Fig. 2).
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/wms"
+)
+
+// MatmulTransformation is the transformation name every generated task
+// invokes.
+const MatmulTransformation = "matmul"
+
+// Chain builds the Fig. 3 workflow: tasks sequential matrix multiplies,
+// each consuming the previous product and a constant second operand, both
+// of matrixBytes size.
+func Chain(name string, tasks int, matrixBytes int64) *wms.Workflow {
+	wf := wms.NewWorkflow(name)
+	for i := 0; i < tasks; i++ {
+		t := wms.TaskSpec{
+			ID:             fmt.Sprintf("mm%03d", i),
+			Transformation: MatmulTransformation,
+			Inputs: []wms.FileSpec{
+				{LFN: fmt.Sprintf("%s-m%03d.dat", name, i), Bytes: matrixBytes},
+				{LFN: name + "-b.dat", Bytes: matrixBytes},
+			},
+			Outputs: []wms.FileSpec{
+				{LFN: fmt.Sprintf("%s-m%03d.dat", name, i+1), Bytes: matrixBytes},
+			},
+		}
+		if err := wf.AddTask(t); err != nil {
+			panic("workload: " + err.Error())
+		}
+		if i > 0 {
+			if err := wf.AddDependency(fmt.Sprintf("mm%03d", i-1), fmt.Sprintf("mm%03d", i)); err != nil {
+				panic("workload: " + err.Error())
+			}
+		}
+	}
+	return wf
+}
+
+// ConcurrentChains builds the Fig. 4 workload: n independent sequential
+// chains launched together.
+func ConcurrentChains(n, tasksPer int, matrixBytes int64) []*wms.Workflow {
+	wfs := make([]*wms.Workflow, n)
+	for i := range wfs {
+		wfs[i] = Chain(fmt.Sprintf("wf%02d", i), tasksPer, matrixBytes)
+	}
+	return wfs
+}
+
+// SplitChain builds a resized chain (§IX-C task resizing): each of the
+// `stages` logical steps is split into `split` parallel subtasks, each
+// carrying 1/split of the work plus splitOverhead (the partition/merge
+// cost as a fraction of the whole task). Every subtask of stage i depends
+// on every subtask of stage i-1 (a matmul needs the full previous product).
+// workScale inflates the logical task's demand relative to the standard
+// matmul, so the resizing trade-off is visible against scheduling latency.
+func SplitChain(name string, stages, split int, matrixBytes int64, workScale, splitOverhead float64) *wms.Workflow {
+	if split < 1 {
+		panic("workload: split must be >= 1")
+	}
+	wf := wms.NewWorkflow(name)
+	shard := matrixBytes / int64(split)
+	perSub := workScale * (1.0/float64(split) + splitOverhead)
+	for i := 0; i < stages; i++ {
+		for j := 0; j < split; j++ {
+			t := wms.TaskSpec{
+				ID:             fmt.Sprintf("s%02dp%02d", i, j),
+				Transformation: MatmulTransformation,
+				WorkScale:      perSub,
+				Inputs: []wms.FileSpec{
+					{LFN: name + "-b.dat", Bytes: matrixBytes},
+				},
+				Outputs: []wms.FileSpec{
+					{LFN: fmt.Sprintf("%s-m%02dp%02d.dat", name, i+1, j), Bytes: shard},
+				},
+			}
+			if i == 0 {
+				t.Inputs = append(t.Inputs, wms.FileSpec{LFN: fmt.Sprintf("%s-m00p%02d.dat", name, j), Bytes: shard})
+			} else {
+				for k := 0; k < split; k++ {
+					t.Inputs = append(t.Inputs, wms.FileSpec{LFN: fmt.Sprintf("%s-m%02dp%02d.dat", name, i, k), Bytes: shard})
+				}
+			}
+			if err := wf.AddTask(t); err != nil {
+				panic("workload: " + err.Error())
+			}
+			if i > 0 {
+				for k := 0; k < split; k++ {
+					if err := wf.AddDependency(fmt.Sprintf("s%02dp%02d", i-1, k), t.ID); err != nil {
+						panic("workload: " + err.Error())
+					}
+				}
+			}
+		}
+	}
+	return wf
+}
+
+// Random builds a random DAG workflow of n tasks for fuzzing the planner
+// and engine: task i depends on each earlier task with probability
+// edgeProb, and every dependency carries a file. Mode assignment is left to
+// the caller. The result always validates.
+func Random(rng *sim.RNG, name string, n int, edgeProb float64, matrixBytes int64) *wms.Workflow {
+	wf := wms.NewWorkflow(name)
+	outFile := func(i int) wms.FileSpec {
+		return wms.FileSpec{LFN: fmt.Sprintf("%s-f%03d.dat", name, i), Bytes: matrixBytes}
+	}
+	for i := 0; i < n; i++ {
+		t := wms.TaskSpec{
+			ID:             fmt.Sprintf("t%03d", i),
+			Transformation: MatmulTransformation,
+			Inputs:         []wms.FileSpec{{LFN: name + "-seed.dat", Bytes: matrixBytes}},
+			Outputs:        []wms.FileSpec{outFile(i)},
+		}
+		var parents []int
+		for j := 0; j < i; j++ {
+			if rng.Float64() < edgeProb {
+				parents = append(parents, j)
+				t.Inputs = append(t.Inputs, outFile(j))
+			}
+		}
+		if err := wf.AddTask(t); err != nil {
+			panic("workload: " + err.Error())
+		}
+		for _, j := range parents {
+			if err := wf.AddDependency(fmt.Sprintf("t%03d", j), t.ID); err != nil {
+				panic("workload: " + err.Error())
+			}
+		}
+	}
+	return wf
+}
+
+// FanOut builds a workflow of width independent matrix multiplications with
+// no dependencies — the parallel-task workload of the Fig. 2 motivation
+// experiment.
+func FanOut(name string, width int, matrixBytes int64) *wms.Workflow {
+	wf := wms.NewWorkflow(name)
+	for i := 0; i < width; i++ {
+		t := wms.TaskSpec{
+			ID:             fmt.Sprintf("par%03d", i),
+			Transformation: MatmulTransformation,
+			Inputs: []wms.FileSpec{
+				{LFN: fmt.Sprintf("%s-a%03d.dat", name, i), Bytes: matrixBytes},
+				{LFN: fmt.Sprintf("%s-b%03d.dat", name, i), Bytes: matrixBytes},
+			},
+			Outputs: []wms.FileSpec{
+				{LFN: fmt.Sprintf("%s-c%03d.dat", name, i), Bytes: matrixBytes},
+			},
+		}
+		if err := wf.AddTask(t); err != nil {
+			panic("workload: " + err.Error())
+		}
+	}
+	return wf
+}
