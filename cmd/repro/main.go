@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	repro [flags] {fig1|fig2|fig5|fig6|coldstart|config|all}
+//	repro [flags] {fig1|fig2|fig5|fig6|coldstart|config|chaos|all}
 //
 // Flags:
 //
@@ -28,7 +28,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base random seed")
 	quick := flag.Bool("quick", false, "down-scaled sweeps")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: repro [flags] {fig1|fig2|fig5|fig6|coldstart|config|all|datamove|resize|redirect|clustering|montage|isolation|ext}\n")
+		fmt.Fprintf(os.Stderr, "usage: repro [flags] {fig1|fig2|fig5|fig6|coldstart|config|all|datamove|resize|redirect|clustering|montage|isolation|chaos|ext}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -74,6 +74,8 @@ func main() {
 			return writeResult(w, experiments.Montage(o))
 		case "isolation":
 			return writeResult(w, experiments.Isolation(o))
+		case "chaos":
+			return writeResult(w, experiments.Chaos(o))
 		case "config":
 			return printConfig(w, o.Prm)
 		default:
@@ -87,7 +89,7 @@ func main() {
 	case "all":
 		names = []string{"config", "coldstart", "fig1", "fig2", "fig5", "fig6"}
 	case "ext":
-		names = []string{"datamove", "resize", "redirect", "clustering", "montage", "isolation"}
+		names = []string{"datamove", "resize", "redirect", "clustering", "montage", "isolation", "chaos"}
 	default:
 		names = []string{target}
 	}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/config"
+	"repro/internal/faults"
 	"repro/internal/sim"
 )
 
@@ -100,6 +101,13 @@ type startd struct {
 	node  *cluster.Node
 	slots int
 	free  int
+	// offline marks a crashed node: it matches no jobs and its slots are
+	// unclaimed until RestoreNode.
+	offline bool
+	// epoch increments on every crash, so jobs claimed before the crash
+	// cannot double-free slots the reboot already reset, and their results
+	// are recognisably stale.
+	epoch int
 }
 
 // Schedd is the submit-side daemon plus the negotiator and startds of the
@@ -117,6 +125,7 @@ type Schedd struct {
 	nextID   int
 	shadow   *sim.Semaphore // serializes shadow spawns at the schedd
 	rng      *sim.RNG
+	faults   *faults.Injector
 	stopped  bool
 	started  bool
 	running  int
@@ -153,6 +162,59 @@ func (s *Schedd) Start() {
 // Shutdown stops the negotiator after its current cycle. Jobs already
 // matched run to completion; idle jobs stay idle forever.
 func (s *Schedd) Shutdown() { s.stopped = true }
+
+// AttachFaults connects the pool to the fault injector: node crashes
+// (KindNodeCrash with a worker name as target) take the startd offline and
+// restore it at window end, and the legacy JobFailureProb knob is absorbed
+// as the standing KindJobFailure rate.
+func (s *Schedd) AttachFaults(in *faults.Injector) {
+	s.faults = in
+	if s.prm.JobFailureProb > 0 {
+		in.SetRate(faults.KindJobFailure, "", s.prm.JobFailureProb)
+	}
+	in.OnFault(faults.KindNodeCrash, func(f faults.Fault, begin bool) {
+		if begin {
+			s.CrashNode(f.Target)
+		} else {
+			s.RestoreNode(f.Target)
+		}
+	})
+}
+
+// CrashNode takes a worker's startd offline: its free slots vanish, it
+// matches no further jobs, and jobs currently claimed on it lose their
+// results when they next reach an observable completion point. Unknown node
+// names are ignored (the fault may target a node outside this pool).
+func (s *Schedd) CrashNode(name string) {
+	for _, sd := range s.startds {
+		if sd.node.Name != name {
+			continue
+		}
+		sd.offline = true
+		sd.epoch++
+		sd.free = 0
+		return
+	}
+}
+
+// RestoreNode brings a crashed startd back with all slots free (the reboot
+// wiped its claims) and immediately offers the slots to blocked jobs.
+func (s *Schedd) RestoreNode(name string) {
+	for _, sd := range s.startds {
+		if sd.node.Name != name {
+			continue
+		}
+		if !sd.offline {
+			return
+		}
+		sd.offline = false
+		sd.free = sd.slots
+		if s.prm.PerJobNegotiation && !s.stopped {
+			s.dispatchBlocked(sd.free)
+		}
+		return
+	}
+}
 
 // TotalSlots returns the pool's slot count.
 func (s *Schedd) TotalSlots() int {
@@ -246,16 +308,39 @@ func insertByPriority(q []*Job, j *Job) []*Job {
 	return q
 }
 
-// dispatch claims the slot and launches the job's runner process.
+// dispatch claims the slot and launches the job's runner process. The
+// startd's epoch is captured at claim time so a crash during execution is
+// detectable.
 func (s *Schedd) dispatch(j *Job, sd *startd) {
 	sd.free--
 	j.status = StatusRunning
 	j.node = sd.node.Name
 	j.MatchedAt = s.env.Now()
 	s.running++
+	epoch := sd.epoch
 	s.env.Go(fmt.Sprintf("job-%d", j.ID), func(jp *sim.Proc) {
-		s.runJob(jp, j, sd)
+		s.runJob(jp, j, sd, epoch)
 	})
+}
+
+// dispatchBlocked hands up to max freed slots to blocked jobs (per-job
+// mode), in priority order, skipping jobs whose requirements no free node
+// satisfies.
+func (s *Schedd) dispatchBlocked(max int) {
+	for n := 0; n < max; n++ {
+		matched := false
+		for i, next := range s.blocked {
+			if nsd := s.pickStartdFor(next); nsd != nil {
+				s.blocked = append(s.blocked[:i], s.blocked[i+1:]...)
+				s.dispatch(next, nsd)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return
+		}
+	}
 }
 
 // Wait blocks until the job completes, returning its error.
@@ -309,7 +394,7 @@ func (s *Schedd) pickStartdMatching(requires func(*cluster.Node) bool) *startd {
 	n := len(s.startds)
 	for i := 0; i < n; i++ {
 		sd := s.startds[(i+s.rrOffset)%n]
-		if sd.free <= 0 {
+		if sd.offline || sd.free <= 0 {
 			continue
 		}
 		if requires != nil && !requires(sd.node) {
@@ -322,9 +407,23 @@ func (s *Schedd) pickStartdMatching(requires func(*cluster.Node) bool) *startd {
 	return best
 }
 
+// injectFailure decides whether this job suffers a transient injected
+// failure (starter crash, eviction). With a fault injector attached the
+// framework's KindJobFailure rate governs; otherwise the legacy
+// JobFailureProb knob rolls against the schedd's own RNG, preserving the
+// pre-framework random stream.
+func (s *Schedd) injectFailure(sd *startd) bool {
+	if s.faults != nil {
+		return s.faults.Roll(faults.KindJobFailure, sd.node.Name)
+	}
+	return s.prm.JobFailureProb > 0 && s.rng.Float64() < s.prm.JobFailureProb
+}
+
 // runJob drives one matched job: serialized shadow spawn, sandbox transfer
-// in, starter setup, payload, transfer out.
-func (s *Schedd) runJob(p *sim.Proc, j *Job, sd *startd) {
+// in, starter setup, payload, transfer out. epoch is the startd epoch
+// captured at claim time; a mismatch afterwards means the node crashed
+// underneath the job.
+func (s *Schedd) runJob(p *sim.Proc, j *Job, sd *startd, epoch int) {
 	// condor_shadow processes spawn one at a time at the schedd; this
 	// serialization is the dominant per-job dispatch cost (Fig. 2's native
 	// slope).
@@ -337,37 +436,49 @@ func (s *Schedd) runJob(p *sim.Proc, j *Job, sd *startd) {
 	j.StartedAt = p.Now()
 
 	var err error
-	if s.prm.JobFailureProb > 0 && s.rng.Float64() < s.prm.JobFailureProb {
+	if sd.epoch != epoch {
+		// The node crashed between claim and start: the sandbox is gone.
+		err = faults.Transientf("condor: job %d lost: node %s crashed before start", j.ID, sd.node.Name)
+	} else if s.injectFailure(sd) {
 		// Injected transient failure (starter crash, eviction): the job
 		// dies partway through its execution.
 		p.Sleep(time.Duration(s.rng.Float64() * float64(time.Second)))
 		err = fmt.Errorf("condor: job %d evicted on %s (injected fault)", j.ID, sd.node.Name)
 	} else {
 		err = j.Run(&ExecContext{Proc: p, Node: sd.node, Job: j})
+		if err == nil && sd.epoch != epoch {
+			// The node crashed mid-execution; the charged work ran but its
+			// results died with the machine (see the package faults
+			// modelling note).
+			err = faults.Transientf("condor: job %d lost: node %s crashed during execution", j.ID, sd.node.Name)
+		}
 	}
 
 	if err == nil && j.TransferOutputBytes > 0 {
 		s.cl.Net.Transfer(p, sd.node.Name, cluster.SubmitNodeName, j.TransferOutputBytes)
 	}
 	j.FinishedAt = p.Now()
-	if err != nil {
-		j.status = StatusFailed
-	} else {
-		j.status = StatusCompleted
+	// Only release the slot into the epoch it was claimed from: after a
+	// crash the reboot resets the slot count itself.
+	if sd.epoch == epoch && !sd.offline {
+		sd.free++
 	}
-	sd.free++
 	s.running--
 	s.finished++
 	// Per-job mode: hand the freed slot to the first blocked job (priority
 	// order) whose requirements some free node satisfies.
 	if s.prm.PerJobNegotiation && !s.stopped {
-		for i, next := range s.blocked {
-			if nsd := s.pickStartdFor(next); nsd != nil {
-				s.blocked = append(s.blocked[:i], s.blocked[i+1:]...)
-				s.dispatch(next, nsd)
-				break
-			}
-		}
+		s.dispatchBlocked(1)
+	}
+	if err != nil {
+		// A failed job pays a requeue penalty — the scheduler only notices
+		// the failure and can re-match it after another negotiation cycle.
+		// The job stays Running (from the queue's perspective, the claim is
+		// being cleaned up) until the penalty elapses.
+		p.Sleep(s.rng.Jitter(s.prm.EffectiveRequeueDelay(), s.prm.NegotiatorJitterFrac))
+		j.status = StatusFailed
+	} else {
+		j.status = StatusCompleted
 	}
 	j.done.Set(err)
 }

@@ -167,7 +167,26 @@ type Params struct {
 	// JobFailureProb injects transient job failures (starter crashes,
 	// evictions) with this per-job probability, exercising the WMS retry
 	// machinery (Pegasus's fault tolerance, §II-C). 0 disables injection.
+	// When a fault injector is attached it absorbs this knob as the
+	// standing rate for faults.KindJobFailure.
 	JobFailureProb float64
+	// RequeueDelay is the scheduler penalty a failed job pays before its
+	// failure is reported and the job can be re-matched (the negotiation
+	// cycle a real requeue waits out). Zero derives it from the negotiation
+	// model: NegotiationDelay in per-job mode, NegotiatorCycle otherwise.
+	RequeueDelay time.Duration
+
+	// ---- Retry policies (unified fault-recovery configuration) ----
+
+	// TaskRetry governs workflow-level task resubmission in the wms engine
+	// (DAGMan/Pegasus-style retries).
+	TaskRetry RetryPolicy
+	// PullRetry governs container-runtime image pulls against a flaky
+	// registry.
+	PullRetry RetryPolicy
+	// InvokeRetry governs knative invocation retries after replica
+	// failures.
+	InvokeRetry RetryPolicy
 
 	// ---- Experiment-level ----
 
@@ -231,6 +250,28 @@ func Default() Params {
 		CondorJitterFrac:     0.15,
 		DAGManPoll:           5 * time.Second,
 
+		TaskRetry: RetryPolicy{
+			MaxAttempts: 3,
+			BaseDelay:   5 * time.Second,
+			MaxDelay:    2 * time.Minute,
+			Multiplier:  2,
+			JitterFrac:  0.1,
+		},
+		PullRetry: RetryPolicy{
+			MaxAttempts: 3,
+			BaseDelay:   500 * time.Millisecond,
+			MaxDelay:    10 * time.Second,
+			Multiplier:  2,
+			JitterFrac:  0.1,
+		},
+		InvokeRetry: RetryPolicy{
+			MaxAttempts: 4,
+			BaseDelay:   100 * time.Millisecond,
+			MaxDelay:    5 * time.Second,
+			Multiplier:  2,
+			JitterFrac:  0.1,
+		},
+
 		WorkflowsPerRun:  10,
 		TasksPerWorkflow: 10,
 		Repetitions:      5,
@@ -244,6 +285,19 @@ func (p Params) ImageBytes() int64 {
 		total += b
 	}
 	return total
+}
+
+// EffectiveRequeueDelay resolves RequeueDelay against the negotiation model:
+// an explicit value wins, otherwise a failed job waits out one per-job
+// negotiation (per-job mode) or one negotiator cycle.
+func (p Params) EffectiveRequeueDelay() time.Duration {
+	if p.RequeueDelay > 0 {
+		return p.RequeueDelay
+	}
+	if p.PerJobNegotiation {
+		return p.NegotiationDelay
+	}
+	return p.NegotiatorCycle
 }
 
 // TaskWork returns the service demand, in core-seconds, of the idx-th task

@@ -1,0 +1,66 @@
+package config
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// RetryPolicy is the unified retry/backoff policy adopted by every layer
+// that re-attempts failed operations: condor job resubmission through the
+// wms engine, knative invocation, and registry image pulls. Backoff is
+// exponential with deterministic jitter drawn from the simulation RNG, so
+// retry timing is reproducible under a fixed seed.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first. Zero
+	// and one both mean "no retries".
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth. Zero means uncapped.
+	MaxDelay time.Duration
+	// Multiplier is the exponential growth factor between consecutive
+	// retries. Values ≤ 1 mean constant backoff at BaseDelay.
+	Multiplier float64
+	// JitterFrac spreads each delay multiplicatively by U[1−f, 1+f),
+	// decorrelating retry storms across concurrent clients.
+	JitterFrac float64
+	// AttemptTimeout bounds one attempt's duration where the operation
+	// supports cancellation. Zero means no per-attempt timeout.
+	AttemptTimeout time.Duration
+}
+
+// Attempts returns the effective total-attempt budget (at least 1).
+func (rp RetryPolicy) Attempts() int {
+	if rp.MaxAttempts < 1 {
+		return 1
+	}
+	return rp.MaxAttempts
+}
+
+// Backoff returns the delay to wait after the attempt-th failed try
+// (attempt counts from 1), with deterministic jitter drawn from rng. A nil
+// rng yields the unjittered delay.
+func (rp RetryPolicy) Backoff(attempt int, rng *sim.RNG) time.Duration {
+	if rp.BaseDelay <= 0 {
+		return 0
+	}
+	d := float64(rp.BaseDelay)
+	if rp.Multiplier > 1 {
+		for i := 1; i < attempt; i++ {
+			d *= rp.Multiplier
+			if rp.MaxDelay > 0 && d >= float64(rp.MaxDelay) {
+				d = float64(rp.MaxDelay)
+				break
+			}
+		}
+	}
+	if rp.MaxDelay > 0 && d > float64(rp.MaxDelay) {
+		d = float64(rp.MaxDelay)
+	}
+	out := time.Duration(d)
+	if rng != nil && rp.JitterFrac > 0 {
+		out = rng.Jitter(out, rp.JitterFrac)
+	}
+	return out
+}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/condor"
 	"repro/internal/config"
 	"repro/internal/crt"
+	"repro/internal/faults"
 	"repro/internal/knative"
 	"repro/internal/kube"
 	"repro/internal/registry"
@@ -108,6 +109,8 @@ type Stack struct {
 	// Store is the Minio-like object service on the submit node, used when
 	// the staging strategy is wms.StageObjectStore (§V-E).
 	Store *storage.ObjectStore
+	// Faults is the cross-layer fault injector, nil until EnableFaults.
+	Faults *faults.Injector
 
 	services map[string]*knative.Service
 }
@@ -150,12 +153,34 @@ func NewStack(seed uint64, prm config.Params) *Stack {
 		Reg:      reg,
 		Catalogs: cat,
 		Prm:      prm,
-		Retries:  2,
+		Retry:    prm.TaskRetry,
 		Services: s.resolve,
 		FS:       fs,
 		Store:    store,
 	}
 	return s
+}
+
+// EnableFaults creates the fault injector and attaches every substrate's
+// hooks: network (latency, partitions, brownouts), registry pull errors,
+// container create/start failures, condor node crashes and job failures,
+// kube drains and cold-start failures, knative pod kills, and object-store
+// outages. Call it once, before Env.Run; schedule faults on the returned
+// injector. Idempotent after the first call.
+func (s *Stack) EnableFaults() *faults.Injector {
+	if s.Faults != nil {
+		return s.Faults
+	}
+	in := faults.NewInjector(s.Env)
+	s.Cluster.Net.AttachFaults(in)
+	s.Registry.AttachFaults(in)
+	s.Runtimes.AttachFaults(in)
+	s.Pool.AttachFaults(in)
+	s.Kube.AttachFaults(in)
+	s.Knative.AttachFaults(in)
+	s.Store.AttachFaults(in)
+	s.Faults = in
+	return in
 }
 
 func (s *Stack) resolve(transformation string) (*knative.Service, bool) {

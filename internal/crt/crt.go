@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/config"
+	"repro/internal/faults"
 	"repro/internal/fluid"
 	"repro/internal/registry"
 	"repro/internal/sim"
@@ -51,6 +52,7 @@ type Runtime struct {
 	containers map[int]*Container
 	nextID     int
 	loader     *fluid.Server // docker-load unpack bandwidth, shared per node
+	faults     *faults.Injector
 
 	createdTotal int
 	removedTotal int
@@ -84,6 +86,14 @@ func New(env *sim.Env, node *cluster.Node, reg *registry.Registry, params config
 	}
 }
 
+// AttachFaults connects every runtime in the set to the fault injector
+// (container create/start failure rolls, KindCreateFail / KindStartFail).
+func (set Set) AttachFaults(in *faults.Injector) {
+	for _, rt := range set {
+		rt.faults = in
+	}
+}
+
 // Node returns the node this runtime manages.
 func (rt *Runtime) Node() *cluster.Node { return rt.node }
 
@@ -105,6 +115,8 @@ func (rt *Runtime) RemovedTotal() int { return rt.removedTotal }
 
 // PullImage fetches the named image from the registry, transferring only
 // layers absent from this node's cache, and records it in the local store.
+// Transient registry failures are retried under the PullRetry policy with
+// exponential backoff; permanent errors (unknown image) surface immediately.
 func (rt *Runtime) PullImage(p *sim.Proc, name string) error {
 	if rt.HasImage(name) {
 		return nil
@@ -119,7 +131,19 @@ func (rt *Runtime) PullImage(p *sim.Proc, name string) error {
 			missing = append(missing, l)
 		}
 	}
-	if err := rt.reg.PullLayers(p, rt.node.Name, img, missing); err != nil {
+	rp := rt.params.PullRetry
+	var err error
+	for attempt := 1; attempt <= rp.Attempts(); attempt++ {
+		err = rt.reg.PullLayers(p, rt.node.Name, img, missing)
+		if err == nil {
+			break
+		}
+		if !faults.IsTransient(err) || attempt == rp.Attempts() {
+			return err
+		}
+		p.Sleep(rp.Backoff(attempt, p.Rand()))
+	}
+	if err != nil {
 		return err
 	}
 	for _, l := range img.Layers {
@@ -169,6 +193,9 @@ func (rt *Runtime) Create(p *sim.Proc, image string, capCores float64) (*Contain
 		return nil, fmt.Errorf("crt: %s: create: image %q not present", rt.node.Name, image)
 	}
 	p.Sleep(rt.params.ContainerCreate)
+	if rt.faults != nil && rt.faults.Roll(faults.KindCreateFail, rt.node.Name) {
+		return nil, faults.Transientf("crt: %s: create %q: injected create failure", rt.node.Name, image)
+	}
 	c := &Container{ID: rt.nextID, Image: image, CapCores: capCores, rt: rt, state: StateCreated}
 	rt.nextID++
 	rt.containers[c.ID] = c
@@ -182,6 +209,9 @@ func (c *Container) Start(p *sim.Proc) error {
 		return fmt.Errorf("crt: start: container %d is %v", c.ID, c.state)
 	}
 	p.Sleep(c.rt.params.ContainerStart)
+	if c.rt.faults != nil && c.rt.faults.Roll(faults.KindStartFail, c.rt.node.Name) {
+		return faults.Transientf("crt: %s: start container %d: injected start failure", c.rt.node.Name, c.ID)
+	}
 	c.state = StateRunning
 	return nil
 }
@@ -232,9 +262,11 @@ func (rt *Runtime) DockerRun(p *sim.Proc, image string, work, capCores float64) 
 		return err
 	}
 	if err := c.Start(p); err != nil {
+		_ = c.StopRemove(p)
 		return err
 	}
 	if err := c.Exec(p, work); err != nil {
+		_ = c.StopRemove(p)
 		return err
 	}
 	return c.StopRemove(p)

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+)
+
+// chaosPrm is the configuration the chaos tests run under: a tight per-task
+// retry budget so injected failures escalate into rescue-DAG recoveries.
+func chaosPrm() config.Params {
+	prm := config.Default()
+	prm.TaskRetry.MaxAttempts = 2
+	return prm
+}
+
+func TestChaosDeterminism(t *testing.T) {
+	a := ChaosOnce(1, chaosPrm(), 0.3, true, true)
+	b := ChaosOnce(1, chaosPrm(), 0.3, true, true)
+	if a.Trace != b.Trace {
+		t.Errorf("same seed produced different fault traces:\n%s\n---\n%s", a.Trace, b.Trace)
+	}
+	if a.Completed != b.Completed || a.MakespanSec != b.MakespanSec ||
+		a.Retries != b.Retries || a.Rescues != b.Rescues || a.FaultEvents != b.FaultEvents {
+		t.Errorf("same seed produced different metrics: %+v vs %+v", a, b)
+	}
+	c := ChaosOnce(2, chaosPrm(), 0.3, true, true)
+	if c.Trace == a.Trace {
+		t.Error("different seeds produced identical fault traces")
+	}
+}
+
+// TestChaosMontageSurvivesIncidents is the acceptance scenario: a Montage
+// run under a node crash, a registry brownout, and transient job failures
+// completes via layered retries and rescue-DAG recovery.
+func TestChaosMontageSurvivesIncidents(t *testing.T) {
+	// 10% transient failures with the default (generous) retry budget:
+	// retries absorb everything.
+	mild := ChaosOnce(1, config.Default(), 0.1, true, true)
+	if !mild.Completed {
+		t.Errorf("montage did not complete at 10%% fault rate:\n%s", mild.Trace)
+	}
+	if mild.FaultEvents < 4 {
+		t.Errorf("fault events = %d; incident schedule not delivered", mild.FaultEvents)
+	}
+
+	// 30% failures with a 2-attempt budget: tasks exhaust their budgets, so
+	// completion requires rescue-DAG resumption.
+	harsh := ChaosOnce(1, chaosPrm(), 0.3, true, true)
+	if !harsh.Completed {
+		t.Errorf("montage did not complete under harsh faults:\n%s", harsh.Trace)
+	}
+	if harsh.Retries < 1 {
+		t.Error("no retries recorded under 30% fault injection")
+	}
+	if harsh.Rescues < 1 {
+		t.Error("no rescue-DAG recovery exercised under harsh faults")
+	}
+	for _, want := range []string{"node-crash", "registry-brownout", "job-failure"} {
+		if !strings.Contains(harsh.Trace, want) {
+			t.Errorf("trace missing %s:\n%s", want, harsh.Trace)
+		}
+	}
+}
+
+func TestChaosBaselineIsFaultFree(t *testing.T) {
+	base := ChaosOnce(1, config.Default(), 0, false, true)
+	if !base.Completed {
+		t.Error("baseline run did not complete")
+	}
+	if base.FaultEvents != 0 || base.Trace != "" {
+		t.Errorf("baseline recorded %d fault events:\n%s", base.FaultEvents, base.Trace)
+	}
+	// With incidents on, the same seed is slowed down, never sped up.
+	incidents := ChaosOnce(1, config.Default(), 0, true, true)
+	if incidents.Completed && incidents.MakespanSec < base.MakespanSec {
+		t.Errorf("incident run (%.1fs) faster than fault-free baseline (%.1fs)",
+			incidents.MakespanSec, base.MakespanSec)
+	}
+}
+
+func TestChaosSweepTable(t *testing.T) {
+	o := QuickOptions()
+	o.Reps = 1
+	res := Chaos(o)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (quick sweep)", len(res.Rows))
+	}
+	if res.BaselineSec <= 0 {
+		t.Errorf("baseline = %.1f", res.BaselineSec)
+	}
+	if res.Rows[0].Rate != 0 || res.Rows[0].CompletionRate != 1 {
+		t.Errorf("zero-rate row: %+v", res.Rows[0])
+	}
+	var sb strings.Builder
+	if err := res.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fault_rate", "completion", "inflation_pct", "rescues"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("table missing column %q:\n%s", want, sb.String())
+		}
+	}
+}

@@ -63,6 +63,19 @@ func New(env *sim.Env, name string, capacity float64) *Server {
 // Capacity returns the server's total capacity in work units per second.
 func (s *Server) Capacity() float64 { return s.capacity }
 
+// SetCapacity changes the server's capacity mid-run, settling accounts at the
+// old rate first and recomputing every active job's share — the mechanism
+// behind degraded-mode faults such as a registry bandwidth brownout. It
+// panics if c is not positive.
+func (s *Server) SetCapacity(c float64) {
+	if c <= 0 {
+		panic(fmt.Sprintf("fluid: capacity %v must be positive", c))
+	}
+	s.advance()
+	s.capacity = c
+	s.reschedule()
+}
+
 // Load returns the number of jobs currently in service.
 func (s *Server) Load() int { return len(s.jobs) }
 

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/config"
+	"repro/internal/faults"
 	"repro/internal/kube"
 	"repro/internal/sim"
 )
@@ -215,6 +216,39 @@ func (kn *Knative) Service(name string) (*Service, bool) {
 	return svc, ok
 }
 
+// AttachFaults connects the serving layer to the fault injector: a pod kill
+// (KindPodKill, target = service name, or empty for every service) evicts
+// one ready replica, which the autoscaler later replaces. In-flight requests
+// on the killed replica fail and are retried by Invoke's policy.
+func (kn *Knative) AttachFaults(in *faults.Injector) {
+	in.OnFault(faults.KindPodKill, func(f faults.Fault, begin bool) {
+		if !begin {
+			return
+		}
+		for _, svc := range kn.services {
+			if f.Target != "" && svc.spec.Name != f.Target {
+				continue
+			}
+			svc.killOnePod()
+		}
+	})
+}
+
+// killOnePod evicts the first ready replica (deterministic: pods keep
+// creation order), modelling an external eviction or OOM kill.
+func (s *Service) killOnePod() {
+	for _, h := range s.pods {
+		if !h.ready() {
+			continue
+		}
+		h.state = podTerminating
+		s.kn.k.DeletePod(h.pod.Spec.Name)
+		s.removeHandle(h)
+		s.readySig.Broadcast()
+		return
+	}
+}
+
 // Shutdown stops every broker and every service's autoscaler, deletes all
 // pods, and lets the simulation drain.
 func (kn *Knative) Shutdown() {
@@ -315,10 +349,27 @@ func (s *Service) removeHandle(h *podHandle) {
 // Invoke performs one synchronous function call: route to a replica
 // (buffering in the activator on scale-from-zero), move the input payload to
 // the replica's node, execute under the queue-proxy's concurrency gate, and
-// return the output payload.
+// return the output payload. Replica failures (scale-down races, pod kills)
+// are retried through the full path under the InvokeRetry policy, with
+// exponential backoff between attempts; application-level (staging) errors
+// surface to the caller unretried.
 func (s *Service) Invoke(p *sim.Proc, req Request) (Response, error) {
+	rp := s.kn.prm.InvokeRetry
+	for attempt := 1; ; attempt++ {
+		resp, err, retryable := s.invokeOnce(p, req)
+		if err == nil || !retryable || attempt >= rp.Attempts() {
+			return resp, err
+		}
+		p.Sleep(rp.Backoff(attempt, p.Rand()))
+	}
+}
+
+// invokeOnce is one attempt of the invocation path. The third return value
+// reports whether the error class is retryable (replica death) as opposed to
+// terminal (shutdown, staging failure).
+func (s *Service) invokeOnce(p *sim.Proc, req Request) (Response, error, bool) {
 	if s.stopped {
-		return Response{}, fmt.Errorf("knative: service %s is shut down", s.spec.Name)
+		return Response{}, fmt.Errorf("knative: service %s is shut down", s.spec.Name), false
 	}
 	s.Requests++
 	s.inFlight++
@@ -338,7 +389,7 @@ func (s *Service) Invoke(p *sim.Proc, req Request) (Response, error) {
 		}
 		for s.ReadyPods() == 0 {
 			if s.stopped {
-				return Response{}, fmt.Errorf("knative: service %s shut down while queued", s.spec.Name)
+				return Response{}, fmt.Errorf("knative: service %s shut down while queued", s.spec.Name), false
 			}
 			s.readySig.Wait(p)
 		}
@@ -351,7 +402,7 @@ func (s *Service) Invoke(p *sim.Proc, req Request) (Response, error) {
 	var h *podHandle
 	for {
 		if s.stopped {
-			return Response{}, fmt.Errorf("knative: service %s shut down while queued", s.spec.Name)
+			return Response{}, fmt.Errorf("knative: service %s shut down while queued", s.spec.Name), false
 		}
 		h = s.pickAvailable()
 		if h != nil {
@@ -390,15 +441,14 @@ func (s *Service) Invoke(p *sim.Proc, req Request) (Response, error) {
 	h.inFlight--
 	s.readySig.Broadcast() // capacity freed: admit ingress-buffered requests
 	if execErr != nil {
-		// The replica died under us (e.g. scale-down race): one retry
-		// through the full path, as the knative ingress would.
-		return s.Invoke(p, req)
+		// The replica died under us (scale-down race, pod kill): retryable.
+		return resp, execErr, true
 	}
 	if stageErr != nil {
 		// Application-level failure: surface to the caller, no retry.
-		return resp, stageErr
+		return resp, stageErr, false
 	}
-	return resp, nil
+	return resp, nil, false
 }
 
 // codecTime returns the (un)marshalling time of a payload.

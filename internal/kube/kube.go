@@ -14,6 +14,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/config"
 	"repro/internal/crt"
+	"repro/internal/faults"
 	"repro/internal/sim"
 )
 
@@ -113,6 +114,7 @@ type Kube struct {
 	schedQ   *sim.Chan[*Pod]
 	nodeQ    map[string]*sim.Chan[podOp]
 	cordoned map[string]bool
+	faults   *faults.Injector
 	started  bool
 }
 
@@ -203,6 +205,24 @@ func (k *Kube) DeletePod(name string) {
 	if pod.NodeName != "" {
 		k.nodeQ[pod.NodeName].TrySend(podOp{pod: pod, delete: true})
 	}
+}
+
+// AttachFaults connects the control plane to the fault injector: a node
+// crash (KindNodeCrash) drains the node — evicting its pods — and uncordons
+// it when the reboot window ends; KindColdStartFail activates probabilistic
+// pod bring-up failures after container start (readiness never reached).
+func (k *Kube) AttachFaults(in *faults.Injector) {
+	k.faults = in
+	in.OnFault(faults.KindNodeCrash, func(f faults.Fault, begin bool) {
+		if _, known := k.nodeQ[f.Target]; !known {
+			return
+		}
+		if begin {
+			k.DrainNode(f.Target)
+		} else {
+			k.UncordonNode(f.Target)
+		}
+	})
 }
 
 // CordonNode marks a node unschedulable (kubectl cordon).
@@ -352,8 +372,17 @@ func (k *Kube) bringUp(p *sim.Proc, pod *Pod, node *cluster.Node) {
 		return
 	}
 	if err := c.Start(p); err != nil {
+		_ = c.StopRemove(p)
 		node.ReleaseMem(pod.Spec.MemMB)
 		fail(err)
+		return
+	}
+	if k.faults != nil && k.faults.Roll(faults.KindColdStartFail, node.Name) {
+		// The container came up but the application inside it crashed before
+		// readiness (bad init, OOM, crash loop).
+		_ = c.StopRemove(p)
+		node.ReleaseMem(pod.Spec.MemMB)
+		fail(faults.Transientf("kube: pod %s: injected cold-start failure on %s", pod.Spec.Name, node.Name))
 		return
 	}
 	pod.container = c

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
@@ -51,6 +52,7 @@ type Registry struct {
 	host   string
 	images map[string]Image
 	pulls  int
+	faults *faults.Injector
 }
 
 // New returns a registry reachable at the cluster's registry network node.
@@ -74,12 +76,25 @@ func (r *Registry) Image(name string) (Image, bool) {
 // Pulls returns the number of layer transfers served, for test assertions.
 func (r *Registry) Pulls() int { return r.pulls }
 
+// AttachFaults connects the registry to the fault injector. Pull errors
+// (KindRegistryError) are rolled per pull request here; bandwidth brownouts
+// (KindRegistryBrownout) are delivered by the network, which owns the
+// registry node's egress interface.
+func (r *Registry) AttachFaults(in *faults.Injector) { r.faults = in }
+
 // PullLayers transfers the given layers of the named image to node,
 // blocking the calling process for the network time. The caller (the node's
-// container runtime) decides which layers are missing.
+// container runtime) decides which layers are missing. With fault injection
+// active, a pull may fail transiently (HTTP 5xx / dropped connection) —
+// retryable by the runtime's pull policy.
 func (r *Registry) PullLayers(p *sim.Proc, node string, img Image, missing []Layer) error {
 	if _, ok := r.images[img.Name]; !ok {
 		return fmt.Errorf("registry: image %q not found", img.Name)
+	}
+	if r.faults != nil && r.faults.Roll(faults.KindRegistryError, node) {
+		// The failed request still costs a round trip to the endpoint.
+		r.net.Message(p, r.host, node)
+		return faults.Transientf("registry: pull %q to %s: injected pull error", img.Name, node)
 	}
 	for _, l := range missing {
 		r.pulls++

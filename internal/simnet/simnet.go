@@ -11,8 +11,10 @@ package simnet
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/fluid"
 	"repro/internal/sim"
 )
@@ -20,14 +22,18 @@ import (
 // Network is the cluster fabric. All methods must be called from simulation
 // context.
 type Network struct {
-	env     *sim.Env
-	latency time.Duration
-	ifaces  map[string]*iface
+	env       *sim.Env
+	latency   time.Duration
+	latFactor float64
+	ifaces    map[string]*iface
+	parts     map[string]bool
+	healed    *sim.Signal
 }
 
 type iface struct {
 	name   string
-	bps    float64
+	bps    float64 // current egress bandwidth (may be degraded by a fault)
+	base   float64 // configured egress bandwidth
 	egress *fluid.Server
 	tx     int64 // bytes sent, for accounting
 	rx     int64 // bytes received
@@ -36,7 +42,14 @@ type iface struct {
 // New returns a network with the given one-way message latency between any
 // pair of distinct nodes.
 func New(env *sim.Env, latency time.Duration) *Network {
-	return &Network{env: env, latency: latency, ifaces: make(map[string]*iface)}
+	return &Network{
+		env:       env,
+		latency:   latency,
+		latFactor: 1,
+		ifaces:    make(map[string]*iface),
+		parts:     make(map[string]bool),
+		healed:    sim.NewSignal(env),
+	}
 }
 
 // AddNode registers a node with the given egress bandwidth in bytes/second.
@@ -47,6 +60,7 @@ func (n *Network) AddNode(name string, egressBps float64) {
 	n.ifaces[name] = &iface{
 		name:   name,
 		bps:    egressBps,
+		base:   egressBps,
 		egress: fluid.New(n.env, "net:"+name, egressBps),
 	}
 }
@@ -57,8 +71,101 @@ func (n *Network) HasNode(name string) bool {
 	return ok
 }
 
-// Latency returns the one-way message latency.
-func (n *Network) Latency() time.Duration { return n.latency }
+// Latency returns the one-way message latency, including any active
+// latency-spike fault.
+func (n *Network) Latency() time.Duration {
+	return time.Duration(float64(n.latency) * n.latFactor)
+}
+
+// SetLatencyFactor scales the fabric's one-way latency by f (1 restores the
+// configured value) — the delivery mechanism for latency-spike faults.
+func (n *Network) SetLatencyFactor(f float64) {
+	if f <= 0 {
+		panic(fmt.Sprintf("simnet: latency factor %v must be positive", f))
+	}
+	n.latFactor = f
+}
+
+// SetBandwidthFactor scales a node's egress bandwidth to 1/f of its
+// configured value (f=1 restores it) — the delivery mechanism for bandwidth
+// brownouts such as a throttled registry. Transfers already in flight are
+// re-paced at the new rate.
+func (n *Network) SetBandwidthFactor(node string, f float64) {
+	if f <= 0 {
+		panic(fmt.Sprintf("simnet: bandwidth factor %v must be positive", f))
+	}
+	iface := n.mustIface(node)
+	iface.bps = iface.base / f
+	iface.egress.SetCapacity(iface.bps)
+}
+
+// partKey canonicalises an unordered node pair.
+func partKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+// Partition severs connectivity between two nodes. Messages and transfers
+// between them block until Heal — partitioned traffic stalls rather than
+// erroring, matching TCP behaviour within typical fault windows.
+func (n *Network) Partition(a, b string) {
+	n.mustIface(a)
+	n.mustIface(b)
+	n.parts[partKey(a, b)] = true
+}
+
+// Heal restores connectivity between two nodes and releases traffic blocked
+// on the partition.
+func (n *Network) Heal(a, b string) {
+	delete(n.parts, partKey(a, b))
+	n.healed.Broadcast()
+}
+
+// Partitioned reports whether traffic between two nodes is currently severed.
+func (n *Network) Partitioned(a, b string) bool {
+	return n.parts[partKey(a, b)]
+}
+
+// waitReachable blocks the calling process while from↔to is partitioned.
+func (n *Network) waitReachable(p *sim.Proc, from, to string) {
+	for n.parts[partKey(from, to)] {
+		n.healed.Wait(p)
+	}
+}
+
+// AttachFaults registers the network's fault hooks: latency spikes
+// (KindNetLatency, Rate = multiplier), partitions (KindNetPartition, Target
+// = "a|b"), and registry-style bandwidth brownouts (KindRegistryBrownout,
+// Target = node, Rate = collapse divisor).
+func (n *Network) AttachFaults(in *faults.Injector) {
+	in.OnFault(faults.KindNetLatency, func(f faults.Fault, begin bool) {
+		if begin {
+			n.SetLatencyFactor(f.Rate)
+		} else {
+			n.SetLatencyFactor(1)
+		}
+	})
+	in.OnFault(faults.KindNetPartition, func(f faults.Fault, begin bool) {
+		a, b, ok := strings.Cut(f.Target, "|")
+		if !ok {
+			panic(fmt.Sprintf("simnet: partition target %q not of form a|b", f.Target))
+		}
+		if begin {
+			n.Partition(a, b)
+		} else {
+			n.Heal(a, b)
+		}
+	})
+	in.OnFault(faults.KindRegistryBrownout, func(f faults.Fault, begin bool) {
+		if begin {
+			n.SetBandwidthFactor(f.Target, f.Rate)
+		} else {
+			n.SetBandwidthFactor(f.Target, 1)
+		}
+	})
+}
 
 // Message charges one small control message from one node to another
 // (latency only; bandwidth is negligible). Loopback is free.
@@ -68,7 +175,8 @@ func (n *Network) Message(p *sim.Proc, from, to string) {
 	}
 	n.mustIface(from)
 	n.mustIface(to)
-	p.Sleep(n.latency)
+	n.waitReachable(p, from, to)
+	p.Sleep(n.Latency())
 }
 
 // Transfer moves size bytes from one node to another, blocking the calling
@@ -85,7 +193,8 @@ func (n *Network) Transfer(p *sim.Proc, from, to string, size int64) {
 	if from == to {
 		return
 	}
-	p.Sleep(n.latency)
+	n.waitReachable(p, from, to)
+	p.Sleep(n.Latency())
 	if size == 0 {
 		return
 	}

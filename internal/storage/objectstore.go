@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/fluid"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -19,6 +20,7 @@ type ObjectStore struct {
 	net     *simnet.Network
 	srv     *fluid.Server
 	buckets map[string]map[string]int64
+	down    bool
 
 	gets, puts int
 }
@@ -40,6 +42,25 @@ func NewObjectStore(env *sim.Env, net *simnet.Network, host string, bps float64)
 // Host returns the service's node.
 func (o *ObjectStore) Host() string { return o.host }
 
+// AttachFaults registers the outage hook: during a KindStoreOutage window
+// every Put/Get/Stat fails fast with a transient service-unavailable error.
+func (o *ObjectStore) AttachFaults(in *faults.Injector) {
+	in.OnFault(faults.KindStoreOutage, func(_ faults.Fault, begin bool) {
+		o.down = begin
+	})
+}
+
+// Down reports whether the service is inside an outage window.
+func (o *ObjectStore) Down() bool { return o.down }
+
+// unavailable charges the failed request's round trip and returns the
+// transient outage error.
+func (o *ObjectStore) unavailable(p *sim.Proc, node, op string) error {
+	o.net.Message(p, node, o.host)
+	o.net.Message(p, o.host, node)
+	return faults.Transientf("storage: object store %s: %s: service unavailable", o.host, op)
+}
+
 // MakeBucket creates a bucket; creating an existing bucket is an error
 // (matching S3 semantics).
 func (o *ObjectStore) MakeBucket(name string) error {
@@ -53,6 +74,9 @@ func (o *ObjectStore) MakeBucket(name string) error {
 // Put uploads an object from a node: request latency + transfer to the
 // host + service-side write bandwidth.
 func (o *ObjectStore) Put(p *sim.Proc, fromNode, bucket, key string, size int64) error {
+	if o.down {
+		return o.unavailable(p, fromNode, "put "+bucket+"/"+key)
+	}
 	b, ok := o.buckets[bucket]
 	if !ok {
 		return fmt.Errorf("storage: no bucket %q", bucket)
@@ -68,6 +92,9 @@ func (o *ObjectStore) Put(p *sim.Proc, fromNode, bucket, key string, size int64)
 
 // Get downloads an object to a node and returns its size.
 func (o *ObjectStore) Get(p *sim.Proc, toNode, bucket, key string) (int64, error) {
+	if o.down {
+		return 0, o.unavailable(p, toNode, "get "+bucket+"/"+key)
+	}
 	b, ok := o.buckets[bucket]
 	if !ok {
 		return 0, fmt.Errorf("storage: no bucket %q", bucket)
@@ -86,6 +113,9 @@ func (o *ObjectStore) Get(p *sim.Proc, toNode, bucket, key string) (int64, error
 
 // Stat returns an object's size without a transfer (HEAD request).
 func (o *ObjectStore) Stat(p *sim.Proc, fromNode, bucket, key string) (int64, error) {
+	if o.down {
+		return 0, o.unavailable(p, fromNode, "stat "+bucket+"/"+key)
+	}
 	b, ok := o.buckets[bucket]
 	if !ok {
 		return 0, fmt.Errorf("storage: no bucket %q", bucket)

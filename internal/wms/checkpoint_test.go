@@ -23,7 +23,7 @@ func TestCheckpointingResumesFromLastCheckpoint(t *testing.T) {
 			p.TaskJitterFrac = 0
 			p.TaskDriftPerTask = 0
 		})
-		s.eng.Retries = 50
+		s.eng.Retry = config.RetryPolicy{MaxAttempts: 51}
 		s.eng.Checkpoint = Checkpoint{
 			Every:         every,
 			CrashPerChunk: 0.5, // brutal mortality
@@ -86,7 +86,7 @@ func TestCheckpointCrashErrorMentionsProgress(t *testing.T) {
 	s := newStack(t, func(p *config.Params) {
 		p.TaskJitterFrac = 0
 	})
-	s.eng.Retries = 0
+	s.eng.Retry = config.RetryPolicy{MaxAttempts: 1}
 	s.eng.Checkpoint = Checkpoint{Every: 0.1, CrashPerChunk: 1.0}
 	wf := chain(t, 1)
 	s.env.Go("main", func(p *sim.Proc) {

@@ -105,9 +105,10 @@ type Engine struct {
 	// Services resolves serverless functions; required only when some task
 	// is assigned ModeServerless.
 	Services ServiceResolver
-	// Retries is how many times a failed task is resubmitted before the
-	// workflow aborts (Pegasus-style retry).
-	Retries int
+	// Retry governs task resubmission (Pegasus-style retry): total attempt
+	// budget plus exponential backoff between a task's failure and its
+	// resubmission. The zero value means one attempt, no retries.
+	Retry config.RetryPolicy
 	// Staging selects the data-movement strategy (default StageByValue).
 	Staging DataStaging
 	// FS is the shared filesystem, required when Staging is StageSharedFS.
@@ -125,8 +126,16 @@ type Engine struct {
 }
 
 // RunWorkflow executes the workflow with the given mode assignment and
-// blocks until it completes. It returns per-task provenance.
+// blocks until it completes. It returns per-task provenance. When a task
+// exhausts the engine's retry budget the error is an *AbortError carrying a
+// Rescue; ResumeWorkflow (or RunWorkflowWithRecovery) continues from it.
 func (e *Engine) RunWorkflow(p *sim.Proc, wf *Workflow, assign ModeAssigner) (*RunResult, error) {
+	return e.run(p, wf, assign, nil)
+}
+
+// run is the DAGMan loop behind RunWorkflow and ResumeWorkflow; a non-nil
+// rescue pre-marks finished tasks and reinstates checkpoint progress.
+func (e *Engine) run(p *sim.Proc, wf *Workflow, assign ModeAssigner, rescue *Rescue) (*RunResult, error) {
 	if err := wf.Validate(); err != nil {
 		return nil, err
 	}
@@ -161,9 +170,25 @@ func (e *Engine) RunWorkflow(p *sim.Proc, wf *Workflow, assign ModeAssigner) (*R
 	done := make(map[string]bool, wf.Len())
 	attempts := make(map[string]int, wf.Len())
 	inflight := make(map[string]*condor.Job)
+	notBefore := make(map[string]time.Duration) // retry backoff gate
+
+	if rescue != nil {
+		// Rescue-DAG resume: finished tasks are planned out of the DAG and
+		// their recorded provenance carries over; checkpointed partial
+		// progress is reinstated; the makespan spans the original start.
+		res.StartedAt = rescue.StartedAt
+		for id, tr := range rescue.Done {
+			if _, exists := wf.Task(id); !exists {
+				return nil, fmt.Errorf("wms: rescue records unknown task %q", id)
+			}
+			done[id] = true
+			res.Tasks[id] = tr
+		}
+		e.restoreProgress(wf, rescue)
+	}
 
 	ready := func(id string) bool {
-		if done[id] || inflight[id] != nil {
+		if done[id] || inflight[id] != nil || p.Now() < notBefore[id] {
 			return false
 		}
 		for _, par := range wf.Parents(id) {
@@ -226,9 +251,20 @@ func (e *Engine) RunWorkflow(p *sim.Proc, wf *Workflow, assign ModeAssigner) (*R
 				}
 			case condor.StatusFailed:
 				delete(inflight, id)
-				if attempts[id] > e.Retries {
-					return nil, fmt.Errorf("wms: task %s/%s failed after %d attempts", wf.Name, id, attempts[id])
+				if attempts[id] >= e.Retry.Attempts() {
+					// Retry budget exhausted: abort with a rescue capturing
+					// completed-task state. Jobs still in flight are
+					// abandoned (their results discarded); the rescue DAG
+					// re-runs those tasks.
+					return nil, &AbortError{
+						Task:     id,
+						Attempts: attempts[id],
+						Rescue:   e.buildRescue(wf, res, id, len(inflight)),
+					}
 				}
+				// Exponential backoff before resubmission, jittered so
+				// concurrent workflows don't resubmit in lockstep.
+				notBefore[id] = p.Now() + e.Retry.Backoff(attempts[id], p.Rand())
 			}
 		}
 		if err := submitReady(); err != nil {
@@ -326,18 +362,26 @@ func (e *Engine) submitTask(wf *Workflow, task *TaskSpec, mode Mode) (*condor.Jo
 			if err != nil {
 				return err
 			}
-			if err := c.Start(ctx.Proc); err != nil {
+			// Tear the container down on every exit so a retried attempt
+			// starts from a clean slate — leaking a container per failed
+			// attempt would make resubmission non-idempotent (and slowly eat
+			// the node under fault injection).
+			cleanup := func(err error) error {
+				_ = c.StopRemove(ctx.Proc)
 				return err
 			}
+			if err := c.Start(ctx.Proc); err != nil {
+				return cleanup(err)
+			}
 			if err := stageIn(ctx.Proc, ctx.Node.Name); err != nil {
-				return err
+				return cleanup(err)
 			}
 			work := e.Cl.NextTaskWork() * task.EffectiveWorkScale()
 			if err := c.Exec(ctx.Proc, work); err != nil {
-				return err
+				return cleanup(err)
 			}
 			if err := stageOut(ctx.Proc, ctx.Node.Name); err != nil {
-				return err
+				return cleanup(err)
 			}
 			return c.StopRemove(ctx.Proc)
 		}), nil

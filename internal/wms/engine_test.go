@@ -60,7 +60,7 @@ func newStack(t *testing.T, mut func(*config.Params)) *stack {
 		Reg:      reg,
 		Catalogs: cat,
 		Prm:      prm,
-		Retries:  1,
+		Retry:    config.RetryPolicy{MaxAttempts: 2},
 	}
 	return &stack{env: env, prm: prm, cl: cl, reg: reg, rts: rts, pool: pool, k: k, kn: kn, eng: eng}
 }

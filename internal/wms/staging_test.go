@@ -89,7 +89,7 @@ func TestFaultInjectionRetriesToCompletion(t *testing.T) {
 	s := newStack(t, func(p *config.Params) {
 		p.JobFailureProb = 0.3
 	})
-	s.eng.Retries = 10
+	s.eng.Retry = config.RetryPolicy{MaxAttempts: 11}
 	wf := chain(t, 5)
 	s.env.Go("main", func(p *sim.Proc) {
 		res, err := s.eng.RunWorkflow(p, wf, AssignAll(ModeNative))
@@ -113,7 +113,7 @@ func TestFaultInjectionAbortsWithoutRetries(t *testing.T) {
 	s := newStack(t, func(p *config.Params) {
 		p.JobFailureProb = 1.0 // every job dies
 	})
-	s.eng.Retries = 2
+	s.eng.Retry = config.RetryPolicy{MaxAttempts: 3}
 	wf := chain(t, 1)
 	s.env.Go("main", func(p *sim.Proc) {
 		if _, err := s.eng.RunWorkflow(p, wf, AssignAll(ModeNative)); err == nil {
