@@ -27,8 +27,9 @@ func main() {
 	reps := flag.Int("reps", 0, "repetitions per reported number (0 = paper default)")
 	seed := flag.Uint64("seed", 1, "base random seed")
 	quick := flag.Bool("quick", false, "down-scaled sweeps")
+	traceOut := flag.String("trace-out", "", "with the trace experiment: write Chrome trace_event JSON to <prefix>-<mode>.json")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: repro [flags] {fig1|fig2|fig5|fig6|coldstart|config|all|datamove|resize|redirect|clustering|montage|isolation|chaos|ext}\n")
+		fmt.Fprintf(os.Stderr, "usage: repro [flags] {fig1|fig2|fig5|fig6|coldstart|config|all|datamove|resize|redirect|clustering|montage|isolation|chaos|trace|ext}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -76,6 +77,18 @@ func main() {
 			return writeResult(w, experiments.Isolation(o))
 		case "chaos":
 			return writeResult(w, experiments.Chaos(o))
+		case "trace":
+			res := experiments.Trace(o)
+			if *traceOut != "" {
+				for _, tc := range res.Rows {
+					path := fmt.Sprintf("%s-%s.json", *traceOut, tc.Mode)
+					if err := os.WriteFile(path, tc.Tracer.ChromeBytes(), 0o644); err != nil {
+						return err
+					}
+					fmt.Fprintf(w, "wrote %s (%d spans)\n", path, tc.Tracer.Len())
+				}
+			}
+			return writeResult(w, res)
 		case "config":
 			return printConfig(w, o.Prm)
 		default:

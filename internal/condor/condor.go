@@ -19,6 +19,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/faults"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // ExecContext is what a job's function receives on the execution node.
@@ -82,7 +83,16 @@ type Job struct {
 
 	status JobStatus
 	node   string
+	slot   int
 	done   *sim.Future[error]
+
+	// span covers the job's full queue lifetime; queue and claim are its
+	// matchmaking-wait and slot-occupancy children, and the per-phase spans
+	// (shadow, transfers, payload) nest under claim so sibling intervals
+	// never overlap — critical-path accounting relies on that.
+	span  *trace.Span
+	queue *trace.Span
+	claim *trace.Span
 
 	// Timestamps for analysis.
 	SubmittedAt time.Duration
@@ -97,10 +107,16 @@ func (j *Job) Status() JobStatus { return j.status }
 // Node returns the worker that ran (or is running) the job.
 func (j *Job) Node() string { return j.node }
 
+// Slot returns the slot index the job was matched to on its node.
+func (j *Job) Slot() int { return j.slot }
+
 type startd struct {
 	node  *cluster.Node
 	slots int
 	free  int
+	// claimed tracks which slot indices are occupied, so traces can name
+	// the exact slot a job ran on (slot-exclusivity is asserted on spans).
+	claimed []bool
 	// offline marks a crashed node: it matches no jobs and its slots are
 	// unclaimed until RestoreNode.
 	offline bool
@@ -142,7 +158,7 @@ func New(env *sim.Env, cl *cluster.Cluster, prm config.Params) *Schedd {
 		rng:    env.Rand().Fork(),
 	}
 	for _, w := range cl.Workers {
-		s.startds = append(s.startds, &startd{node: w, slots: w.Cores, free: w.Cores})
+		s.startds = append(s.startds, &startd{node: w, slots: w.Cores, free: w.Cores, claimed: make([]bool, w.Cores)})
 	}
 	return s
 }
@@ -209,6 +225,9 @@ func (s *Schedd) RestoreNode(name string) {
 		}
 		sd.offline = false
 		sd.free = sd.slots
+		for i := range sd.claimed {
+			sd.claimed[i] = false
+		}
 		if s.prm.PerJobNegotiation && !s.stopped {
 			s.dispatchBlocked(sd.free)
 		}
@@ -270,6 +289,9 @@ func (s *Schedd) SubmitConstrained(name string, priority int, requires func(*clu
 		SubmittedAt:         s.env.Now(),
 	}
 	s.nextID++
+	tr := trace.FromEnv(s.env)
+	j.span = tr.StartCurrent("condor", "job", trace.L("job", name))
+	j.queue = tr.Start(j.span, "condor", "queue", trace.L("job", name))
 	if s.prm.PerJobNegotiation {
 		// The schedd's reschedule request triggers a negotiation for this
 		// job after the (jittered) negotiation latency.
@@ -313,10 +335,24 @@ func insertByPriority(q []*Job, j *Job) []*Job {
 // detectable.
 func (s *Schedd) dispatch(j *Job, sd *startd) {
 	sd.free--
+	j.slot = 0
+	for i, taken := range sd.claimed {
+		if !taken {
+			j.slot = i
+			break
+		}
+	}
+	sd.claimed[j.slot] = true
 	j.status = StatusRunning
 	j.node = sd.node.Name
 	j.MatchedAt = s.env.Now()
 	s.running++
+	j.queue.End()
+	j.span.SetLabel("node", j.node)
+	slot := fmt.Sprintf("%s:%d", j.node, j.slot)
+	j.span.SetLabel("slot", slot)
+	j.claim = trace.FromEnv(s.env).Start(j.span, "condor", "claim",
+		trace.L("job", j.Name), trace.L("node", j.node), trace.L("slot", slot))
 	epoch := sd.epoch
 	s.env.Go(fmt.Sprintf("job-%d", j.ID), func(jp *sim.Proc) {
 		s.runJob(jp, j, sd, epoch)
@@ -424,15 +460,22 @@ func (s *Schedd) injectFailure(sd *startd) bool {
 // captured at claim time; a mismatch afterwards means the node crashed
 // underneath the job.
 func (s *Schedd) runJob(p *sim.Proc, j *Job, sd *startd, epoch int) {
+	tr := trace.FromEnv(s.env)
 	// condor_shadow processes spawn one at a time at the schedd; this
 	// serialization is the dominant per-job dispatch cost (Fig. 2's native
 	// slope).
+	sh := tr.Start(j.claim, "condor", "shadow")
 	s.shadow.Acquire(p, 1)
 	p.Sleep(p.Rand().Jitter(s.prm.ShadowSpawn, s.prm.CondorJitterFrac))
 	s.shadow.Release(1)
+	sh.End()
 
+	xin := tr.Start(j.claim, "condor", "xfer-in", trace.L("node", sd.node.Name))
 	s.cl.Net.Transfer(p, cluster.SubmitNodeName, sd.node.Name, j.TransferInputBytes)
+	xin.End()
+	js := tr.Start(j.claim, "condor", "job-start")
 	p.Sleep(p.Rand().Jitter(s.prm.JobStartOverhead, s.prm.CondorJitterFrac))
+	js.End()
 	j.StartedAt = p.Now()
 
 	var err error
@@ -442,10 +485,16 @@ func (s *Schedd) runJob(p *sim.Proc, j *Job, sd *startd, epoch int) {
 	} else if s.injectFailure(sd) {
 		// Injected transient failure (starter crash, eviction): the job
 		// dies partway through its execution.
+		payload := tr.Start(j.claim, "condor", "payload", trace.L("status", "evicted"))
 		p.Sleep(time.Duration(s.rng.Float64() * float64(time.Second)))
+		payload.End()
 		err = fmt.Errorf("condor: job %d evicted on %s (injected fault)", j.ID, sd.node.Name)
 	} else {
+		payload := tr.Start(j.claim, "condor", "payload")
+		pop := tr.Push(payload)
 		err = j.Run(&ExecContext{Proc: p, Node: sd.node, Job: j})
+		pop()
+		payload.End()
 		if err == nil && sd.epoch != epoch {
 			// The node crashed mid-execution; the charged work ran but its
 			// results died with the machine (see the package faults
@@ -455,14 +504,18 @@ func (s *Schedd) runJob(p *sim.Proc, j *Job, sd *startd, epoch int) {
 	}
 
 	if err == nil && j.TransferOutputBytes > 0 {
+		xout := tr.Start(j.claim, "condor", "xfer-out", trace.L("node", sd.node.Name))
 		s.cl.Net.Transfer(p, sd.node.Name, cluster.SubmitNodeName, j.TransferOutputBytes)
+		xout.End()
 	}
 	j.FinishedAt = p.Now()
 	// Only release the slot into the epoch it was claimed from: after a
 	// crash the reboot resets the slot count itself.
 	if sd.epoch == epoch && !sd.offline {
 		sd.free++
+		sd.claimed[j.slot] = false
 	}
+	j.claim.End()
 	s.running--
 	s.finished++
 	// Per-job mode: hand the freed slot to the first blocked job (priority
@@ -475,10 +528,14 @@ func (s *Schedd) runJob(p *sim.Proc, j *Job, sd *startd, epoch int) {
 		// the failure and can re-match it after another negotiation cycle.
 		// The job stays Running (from the queue's perspective, the claim is
 		// being cleaned up) until the penalty elapses.
+		rq := tr.Start(j.span, "condor", "requeue")
 		p.Sleep(s.rng.Jitter(s.prm.EffectiveRequeueDelay(), s.prm.NegotiatorJitterFrac))
+		rq.End()
 		j.status = StatusFailed
+		j.span.SetLabel("status", "failed")
 	} else {
 		j.status = StatusCompleted
 	}
+	j.span.End()
 	j.done.Set(err)
 }

@@ -1,0 +1,136 @@
+package config
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestRetryPolicyAttempts(t *testing.T) {
+	cases := []struct {
+		name string
+		max  int
+		want int
+	}{
+		{"negative clamps to one", -2, 1},
+		{"zero clamps to one", 0, 1},
+		{"one means no retries", 1, 1},
+		{"default task retry", Default().TaskRetry.MaxAttempts, 3},
+		{"default invoke retry", Default().InvokeRetry.MaxAttempts, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rp := RetryPolicy{MaxAttempts: tc.max}
+			if got := rp.Attempts(); got != tc.want {
+				t.Errorf("Attempts() = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestRetryPolicyBackoffUnjittered(t *testing.T) {
+	cases := []struct {
+		name    string
+		rp      RetryPolicy
+		attempt int
+		want    time.Duration
+	}{
+		{"first retry is base delay",
+			RetryPolicy{BaseDelay: time.Second, Multiplier: 2}, 1, time.Second},
+		{"exponential growth",
+			RetryPolicy{BaseDelay: time.Second, Multiplier: 2}, 3, 4 * time.Second},
+		{"caps at max delay",
+			RetryPolicy{BaseDelay: time.Second, MaxDelay: 3 * time.Second, Multiplier: 2}, 5, 3 * time.Second},
+		{"uncapped when max delay zero",
+			RetryPolicy{BaseDelay: time.Second, Multiplier: 2}, 6, 32 * time.Second},
+		{"multiplier below one means constant",
+			RetryPolicy{BaseDelay: time.Second, Multiplier: 0.5}, 4, time.Second},
+		{"zero multiplier means constant",
+			RetryPolicy{BaseDelay: time.Second}, 4, time.Second},
+		{"zero base delay means no wait",
+			RetryPolicy{Multiplier: 2, MaxDelay: time.Minute}, 3, 0},
+		{"base above cap clamps down",
+			RetryPolicy{BaseDelay: 10 * time.Second, MaxDelay: 2 * time.Second, Multiplier: 2}, 1, 2 * time.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.rp.Backoff(tc.attempt, nil); got != tc.want {
+				t.Errorf("Backoff(%d, nil) = %v, want %v", tc.attempt, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRetryPolicyJitterBounds draws many jittered backoffs and asserts each
+// stays within the documented U[1−f, 1+f) envelope of the unjittered delay,
+// and that jitter actually spreads values rather than collapsing to a point.
+func TestRetryPolicyJitterBounds(t *testing.T) {
+	policies := map[string]RetryPolicy{
+		"task":   Default().TaskRetry,
+		"invoke": Default().InvokeRetry,
+		"pull":   Default().PullRetry,
+	}
+	for name, rp := range policies {
+		t.Run(name, func(t *testing.T) {
+			rng := sim.NewRNG(42)
+			for attempt := 1; attempt < rp.Attempts(); attempt++ {
+				base := rp.Backoff(attempt, nil)
+				lo := time.Duration(float64(base) * (1 - rp.JitterFrac))
+				hi := time.Duration(float64(base) * (1 + rp.JitterFrac))
+				distinct := make(map[time.Duration]bool)
+				for i := 0; i < 200; i++ {
+					got := rp.Backoff(attempt, rng)
+					if got < lo || got >= hi {
+						t.Fatalf("attempt %d: jittered backoff %v outside [%v, %v)", attempt, got, lo, hi)
+					}
+					distinct[got] = true
+				}
+				if len(distinct) < 2 {
+					t.Errorf("attempt %d: jitter produced a single value %v over 200 draws", attempt, base)
+				}
+			}
+		})
+	}
+}
+
+// TestRetryPolicyJitterDeterministic asserts same-seed RNGs produce identical
+// backoff sequences — the property the determinism suite relies on.
+func TestRetryPolicyJitterDeterministic(t *testing.T) {
+	rp := Default().TaskRetry
+	a, b := sim.NewRNG(7), sim.NewRNG(7)
+	for attempt := 1; attempt <= 6; attempt++ {
+		da, db := rp.Backoff(attempt, a), rp.Backoff(attempt, b)
+		if da != db {
+			t.Fatalf("attempt %d: same-seed backoffs differ: %v vs %v", attempt, da, db)
+		}
+	}
+}
+
+// TestRetryPolicyDefaultsSchedule pins the unjittered backoff schedules of
+// the default wms task and knative invoke policies, including where the cap
+// takes over.
+func TestRetryPolicyDefaultsSchedule(t *testing.T) {
+	cases := []struct {
+		name string
+		rp   RetryPolicy
+		want []time.Duration // backoff after failed attempt 1, 2, ...
+	}{
+		{"task", Default().TaskRetry,
+			[]time.Duration{5 * time.Second, 10 * time.Second, 20 * time.Second, 40 * time.Second,
+				80 * time.Second, 2 * time.Minute, 2 * time.Minute}},
+		{"invoke", Default().InvokeRetry,
+			[]time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+				800 * time.Millisecond, 1600 * time.Millisecond, 3200 * time.Millisecond,
+				5 * time.Second, 5 * time.Second}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for i, want := range tc.want {
+				if got := tc.rp.Backoff(i+1, nil); got != want {
+					t.Errorf("attempt %d: backoff = %v, want %v", i+1, got, want)
+				}
+			}
+		})
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/fluid"
 	"repro/internal/registry"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // State is a container lifecycle state.
@@ -131,6 +132,8 @@ func (rt *Runtime) PullImage(p *sim.Proc, name string) error {
 			missing = append(missing, l)
 		}
 	}
+	sp := trace.Start(p, "crt", "pull", trace.L("image", name), trace.L("node", rt.node.Name))
+	pop := trace.FromEnv(rt.env).Push(sp)
 	rp := rt.params.PullRetry
 	var err error
 	for attempt := 1; attempt <= rp.Attempts(); attempt++ {
@@ -139,13 +142,17 @@ func (rt *Runtime) PullImage(p *sim.Proc, name string) error {
 			break
 		}
 		if !faults.IsTransient(err) || attempt == rp.Attempts() {
-			return err
+			break
 		}
 		p.Sleep(rp.Backoff(attempt, p.Rand()))
 	}
+	pop()
 	if err != nil {
+		sp.SetLabel("status", "failed")
+		sp.End()
 		return err
 	}
+	sp.End()
 	for _, l := range img.Layers {
 		rt.layers[l.Digest] = true
 	}
@@ -159,6 +166,8 @@ func (rt *Runtime) PullImage(p *sim.Proc, name string) error {
 // concurrent jobs importing on the same node contend — a significant part of
 // the traditional-container path's poor parallel scaling.
 func (rt *Runtime) ImportImage(p *sim.Proc, img registry.Image) {
+	sp := trace.Start(p, "crt", "import", trace.L("image", img.Name), trace.L("node", rt.node.Name))
+	defer sp.End()
 	rt.loader.Run(p, float64(img.Bytes()), 0)
 	for _, l := range img.Layers {
 		rt.layers[l.Digest] = true
@@ -192,15 +201,25 @@ func (rt *Runtime) Create(p *sim.Proc, image string, capCores float64) (*Contain
 	if !rt.HasImage(image) {
 		return nil, fmt.Errorf("crt: %s: create: image %q not present", rt.node.Name, image)
 	}
+	sp := trace.Start(p, "crt", "create", trace.L("image", image), trace.L("node", rt.node.Name))
 	p.Sleep(rt.params.ContainerCreate)
 	if rt.faults != nil && rt.faults.Roll(faults.KindCreateFail, rt.node.Name) {
+		sp.SetLabel("status", "failed")
+		sp.End()
 		return nil, faults.Transientf("crt: %s: create %q: injected create failure", rt.node.Name, image)
 	}
 	c := &Container{ID: rt.nextID, Image: image, CapCores: capCores, rt: rt, state: StateCreated}
 	rt.nextID++
 	rt.containers[c.ID] = c
 	rt.createdTotal++
+	sp.SetLabel("container", c.ref())
+	sp.End()
 	return c, nil
+}
+
+// ref names the container uniquely across the cluster for trace labels.
+func (c *Container) ref() string {
+	return fmt.Sprintf("%s/%d", c.rt.node.Name, c.ID)
 }
 
 // Start transitions the container to running, charging the start overhead.
@@ -208,11 +227,15 @@ func (c *Container) Start(p *sim.Proc) error {
 	if c.state != StateCreated {
 		return fmt.Errorf("crt: start: container %d is %v", c.ID, c.state)
 	}
+	sp := trace.Start(p, "crt", "start", trace.L("container", c.ref()), trace.L("node", c.rt.node.Name))
 	p.Sleep(c.rt.params.ContainerStart)
 	if c.rt.faults != nil && c.rt.faults.Roll(faults.KindStartFail, c.rt.node.Name) {
+		sp.SetLabel("status", "failed")
+		sp.End()
 		return faults.Transientf("crt: %s: start container %d: injected start failure", c.rt.node.Name, c.ID)
 	}
 	c.state = StateRunning
+	sp.End()
 	return nil
 }
 
@@ -227,6 +250,8 @@ func (c *Container) Exec(p *sim.Proc, work float64) error {
 	if c.state != StateRunning {
 		return fmt.Errorf("crt: exec: container %d is %v", c.ID, c.state)
 	}
+	sp := trace.Start(p, "crt", "exec", trace.L("container", c.ref()), trace.L("node", c.rt.node.Name))
+	defer sp.End()
 	c.execs++
 	rate := 1.0
 	if c.CapCores > 0 && c.CapCores < rate {
@@ -246,6 +271,8 @@ func (c *Container) StopRemove(p *sim.Proc) error {
 	if c.state == StateRemoved {
 		return fmt.Errorf("crt: remove: container %d already removed", c.ID)
 	}
+	sp := trace.Start(p, "crt", "stop-remove", trace.L("container", c.ref()), trace.L("node", c.rt.node.Name))
+	defer sp.End()
 	p.Sleep(c.rt.params.ContainerStopRemove)
 	c.state = StateRemoved
 	delete(c.rt.containers, c.ID)

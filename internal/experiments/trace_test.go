@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/trace/tracetest"
+	"repro/internal/wms"
+)
+
+// TestDeterministicGoldenTrace extends the determinism suite from scalar
+// makespans to full traces: two same-seed Montage runs must export
+// byte-identical Chrome traces, clean and under a chaos schedule.
+func TestDeterministicGoldenTrace(t *testing.T) {
+	o := QuickOptions()
+	capture := func(chaos bool) []byte {
+		tc, err := TraceOnce(o.Seed, o.Prm, wms.ModeServerless, true, chaos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tc.Tracer.ChromeBytes()
+	}
+	tracetest.AssertSameTrace(t, capture(false), capture(false))
+	tracetest.AssertSameTrace(t, capture(true), capture(true))
+
+	// A different seed must give a different trace (same span structure is
+	// possible but jittered timings make a collision implausible).
+	tc2, err := TraceOnce(o.Seed+17, o.Prm, wms.ModeServerless, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(capture(false)) == string(tc2.Tracer.ChromeBytes()) {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+// TestTraceReconciliation asserts the acceptance criterion: for every
+// execution mode, the critical path's per-stage sums equal the reported
+// makespan exactly, and the workflow span matches the wms result.
+func TestTraceReconciliation(t *testing.T) {
+	o := QuickOptions()
+	for _, mode := range []wms.Mode{wms.ModeNative, wms.ModeContainer, wms.ModeServerless} {
+		tc, err := TraceOnce(o.Seed, o.Prm, mode, true, false)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		cp := tc.Path
+		if cp.StageSum() != cp.Makespan {
+			t.Errorf("%s: stage sum %v != makespan %v", mode, cp.StageSum(), cp.Makespan)
+		}
+		if cp.Makespan != tc.Result.Makespan() {
+			t.Errorf("%s: trace makespan %v != wms result %v", mode, cp.Makespan, tc.Result.Makespan())
+		}
+		if len(cp.Steps) == 0 {
+			t.Errorf("%s: empty critical path", mode)
+		}
+		if other := cp.Stages[trace.StageOther]; other != 0 {
+			t.Errorf("%s: unclassified stage time %v, want 0", mode, other)
+		}
+		if cp.Stages[trace.StageExec] == 0 {
+			t.Errorf("%s: no exec time on the critical path", mode)
+		}
+	}
+}

@@ -15,6 +15,7 @@ package knative
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"time"
 
 	"repro/internal/cluster"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/kube"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // AutoscalerClass selects the scaling algorithm, mirroring the
@@ -356,24 +358,33 @@ func (s *Service) removeHandle(h *podHandle) {
 func (s *Service) Invoke(p *sim.Proc, req Request) (Response, error) {
 	rp := s.kn.prm.InvokeRetry
 	for attempt := 1; ; attempt++ {
-		resp, err, retryable := s.invokeOnce(p, req)
+		resp, err, retryable := s.invokeOnce(p, req, attempt)
 		if err == nil || !retryable || attempt >= rp.Attempts() {
 			return resp, err
 		}
+		bo := trace.Start(p, "knative", "backoff",
+			trace.L("service", s.spec.Name), trace.L("attempt", strconv.Itoa(attempt)))
 		p.Sleep(rp.Backoff(attempt, p.Rand()))
+		bo.End()
 	}
 }
 
 // invokeOnce is one attempt of the invocation path. The third return value
 // reports whether the error class is retryable (replica death) as opposed to
 // terminal (shutdown, staging failure).
-func (s *Service) invokeOnce(p *sim.Proc, req Request) (Response, error, bool) {
+func (s *Service) invokeOnce(p *sim.Proc, req Request, attempt int) (Response, error, bool) {
 	if s.stopped {
 		return Response{}, fmt.Errorf("knative: service %s is shut down", s.spec.Name), false
 	}
 	s.Requests++
 	s.inFlight++
 	defer func() { s.inFlight-- }()
+
+	tr := trace.FromEnv(s.kn.env)
+	sp := tr.StartCurrent("knative", "invoke",
+		trace.L("service", s.spec.Name), trace.L("attempt", strconv.Itoa(attempt)))
+	pop := tr.Push(sp)
+	defer func() { pop(); sp.End() }()
 
 	kn := s.kn
 	// Ingress hop: client → route.
@@ -384,24 +395,31 @@ func (s *Service) invokeOnce(p *sim.Proc, req Request) (Response, error, bool) {
 		// Activator path: ensure a replica is coming and buffer.
 		cold = true
 		s.ColdStarts++
+		cs := tr.Start(sp, "knative", "coldstart", trace.L("service", s.spec.Name))
 		if s.StartingPods() == 0 {
 			s.scaleTo(1)
 		}
 		for s.ReadyPods() == 0 {
 			if s.stopped {
+				cs.End()
+				sp.SetLabel("status", "failed")
 				return Response{}, fmt.Errorf("knative: service %s shut down while queued", s.spec.Name), false
 			}
 			s.readySig.Wait(p)
 		}
+		cs.End()
 	}
 
 	// Route when capacity exists: requests buffer at the ingress (as the
 	// activator/queue-proxy pair does) and take the first free slot on any
 	// ready replica, so freshly scaled pods immediately absorb queued load.
 	enq := p.Now()
+	qs := tr.Start(sp, "knative", "queue", trace.L("service", s.spec.Name))
 	var h *podHandle
 	for {
 		if s.stopped {
+			qs.End()
+			sp.SetLabel("status", "failed")
 			return Response{}, fmt.Errorf("knative: service %s shut down while queued", s.spec.Name), false
 		}
 		h = s.pickAvailable()
@@ -411,16 +429,23 @@ func (s *Service) invokeOnce(p *sim.Proc, req Request) (Response, error, bool) {
 		s.readySig.Wait(p)
 	}
 	h.inFlight++
+	qs.SetLabel("node", h.pod.NodeName)
+	qs.End()
 	queued := p.Now() - enq
+	sp.SetLabel("node", h.pod.NodeName)
 
 	resp := Response{PodNode: h.pod.NodeName, Cold: cold, Queued: queued}
 	// Pass-by-value file handling (§IV-3): the caller marshals the input
 	// files into the request body, the function unmarshals them; the
 	// response payload pays the same costs in reverse.
+	pi := tr.Start(sp, "knative", "payload-in")
 	p.Sleep(kn.codecTime(req.PayloadIn))
 	kn.cl.Net.Transfer(p, req.From, h.pod.NodeName, req.PayloadIn)
 	p.Sleep(kn.codecTime(req.PayloadIn))
+	pi.End()
+	qp := tr.Start(sp, "knative", "queue-proxy")
 	p.Sleep(kn.prm.QueueProxyOverhead)
+	qp.End()
 	var stageErr error
 	var execErr error
 	if req.StageIn != nil {
@@ -433,19 +458,23 @@ func (s *Service) invokeOnce(p *sim.Proc, req Request) (Response, error, bool) {
 		}
 	}
 	if stageErr == nil && execErr == nil {
+		po := tr.Start(sp, "knative", "payload-out")
 		p.Sleep(kn.codecTime(req.PayloadOut))
 		kn.cl.Net.Transfer(p, h.pod.NodeName, req.From, req.PayloadOut)
 		p.Sleep(kn.codecTime(req.PayloadOut))
+		po.End()
 	}
 	h.gate.Release(1)
 	h.inFlight--
 	s.readySig.Broadcast() // capacity freed: admit ingress-buffered requests
 	if execErr != nil {
 		// The replica died under us (scale-down race, pod kill): retryable.
+		sp.SetLabel("status", "failed")
 		return resp, execErr, true
 	}
 	if stageErr != nil {
 		// Application-level failure: surface to the caller, no retry.
+		sp.SetLabel("status", "failed")
 		return resp, stageErr, false
 	}
 	return resp, nil, false

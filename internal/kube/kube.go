@@ -16,6 +16,7 @@ import (
 	"repro/internal/crt"
 	"repro/internal/faults"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Phase is a pod lifecycle phase.
@@ -345,12 +346,18 @@ func (k *Kube) kubeletLoop(p *sim.Proc, node *cluster.Node) {
 // cost: admission + image pull (if absent) + container create + start + app
 // init + readiness probe.
 func (k *Kube) bringUp(p *sim.Proc, pod *Pod, node *cluster.Node) {
+	sp := trace.Start(p, "kube", "pod-bringup",
+		trace.L("pod", pod.Spec.Name), trace.L("node", node.Name))
+	pop := trace.FromEnv(k.env).Push(sp)
+	defer func() { pop(); sp.End() }()
 	if pod.deleted {
+		sp.SetLabel("status", "cancelled")
 		pod.phase = PhaseDead
 		pod.readyF.Set(fmt.Errorf("kube: pod %s deleted before startup", pod.Spec.Name))
 		return
 	}
 	fail := func(err error) {
+		sp.SetLabel("status", "failed")
 		pod.phase = PhaseFailed
 		pod.readyF.Set(err)
 	}
@@ -390,6 +397,7 @@ func (k *Kube) bringUp(p *sim.Proc, pod *Pod, node *cluster.Node) {
 	// Readiness is observed at the next probe tick.
 	p.Sleep(k.prm.ReadinessProbeInterval)
 	if pod.deleted { // deleted during startup; tear down now
+		sp.SetLabel("status", "cancelled")
 		_ = c.StopRemove(p)
 		node.ReleaseMem(pod.Spec.MemMB)
 		pod.phase = PhaseDead

@@ -11,6 +11,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 )
 
 // Layer is one content-addressed image layer.
@@ -91,9 +92,13 @@ func (r *Registry) PullLayers(p *sim.Proc, node string, img Image, missing []Lay
 	if _, ok := r.images[img.Name]; !ok {
 		return fmt.Errorf("registry: image %q not found", img.Name)
 	}
+	sp := trace.Start(p, "registry", "layers",
+		trace.L("image", img.Name), trace.L("node", node), trace.L("layers", fmt.Sprint(len(missing))))
+	defer sp.End()
 	if r.faults != nil && r.faults.Roll(faults.KindRegistryError, node) {
 		// The failed request still costs a round trip to the endpoint.
 		r.net.Message(p, r.host, node)
+		sp.SetLabel("status", "failed")
 		return faults.Transientf("registry: pull %q to %s: injected pull error", img.Name, node)
 	}
 	for _, l := range missing {

@@ -39,6 +39,7 @@ type Env struct {
 	nextID int
 	rng    *RNG
 	trace  TraceFunc
+	attach map[string]any
 }
 
 // TraceFunc receives structured trace records from Env.Tracef.
@@ -69,6 +70,24 @@ func (e *Env) Alive() int { return e.alive }
 
 // SetTrace installs a trace sink. A nil sink disables tracing.
 func (e *Env) SetTrace(f TraceFunc) { e.trace = f }
+
+// Attach associates a value with the environment under key. Higher layers use
+// it to share per-simulation singletons (e.g. a span tracer) across substrates
+// without global state; keys are conventionally the owning package's path.
+func (e *Env) Attach(key string, v any) {
+	if e.attach == nil {
+		e.attach = make(map[string]any)
+	}
+	e.attach[key] = v
+}
+
+// Attached returns the value stored under key by Attach, or nil.
+func (e *Env) Attached(key string) any { return e.attach[key] }
+
+// CurrentProc returns the process currently holding the scheduling baton, or
+// nil when the scheduler itself (an event callback) is running. Because
+// scheduling is strictly sequential this is unambiguous at any instant.
+func (e *Env) CurrentProc() *Proc { return e.cur }
 
 // Tracef emits a trace record tagged with the current virtual time.
 // It is a no-op unless a sink was installed with SetTrace.

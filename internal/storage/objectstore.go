@@ -7,6 +7,7 @@ import (
 	"repro/internal/fluid"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 )
 
 // ObjectStore models a Minio-like S3-compatible object service — the other
@@ -74,7 +75,11 @@ func (o *ObjectStore) MakeBucket(name string) error {
 // Put uploads an object from a node: request latency + transfer to the
 // host + service-side write bandwidth.
 func (o *ObjectStore) Put(p *sim.Proc, fromNode, bucket, key string, size int64) error {
+	sp := trace.Start(p, "storage", "put",
+		trace.L("bucket", bucket), trace.L("key", key), trace.L("node", fromNode))
+	defer sp.End()
 	if o.down {
+		sp.SetLabel("status", "failed")
 		return o.unavailable(p, fromNode, "put "+bucket+"/"+key)
 	}
 	b, ok := o.buckets[bucket]
@@ -92,7 +97,11 @@ func (o *ObjectStore) Put(p *sim.Proc, fromNode, bucket, key string, size int64)
 
 // Get downloads an object to a node and returns its size.
 func (o *ObjectStore) Get(p *sim.Proc, toNode, bucket, key string) (int64, error) {
+	sp := trace.Start(p, "storage", "get",
+		trace.L("bucket", bucket), trace.L("key", key), trace.L("node", toNode))
+	defer sp.End()
 	if o.down {
+		sp.SetLabel("status", "failed")
 		return 0, o.unavailable(p, toNode, "get "+bucket+"/"+key)
 	}
 	b, ok := o.buckets[bucket]

@@ -12,6 +12,7 @@ import (
 	"repro/internal/fluid"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 )
 
 // Disk is a node-local disk with a shared I/O bandwidth budget.
@@ -118,6 +119,9 @@ func (fs *SharedFS) Host() string { return fs.host }
 // Write stores a file from the given node, charging the transfer to the
 // host plus the host disk write.
 func (fs *SharedFS) Write(p *sim.Proc, fromNode, name string, size int64) {
+	sp := trace.Start(p, "storage", "write",
+		trace.L("fs", "shared"), trace.L("file", name), trace.L("node", fromNode))
+	defer sp.End()
 	fs.net.Transfer(p, fromNode, fs.host, size)
 	fs.disk.Write(p, size)
 	fs.files[name] = size
@@ -130,6 +134,9 @@ func (fs *SharedFS) Read(p *sim.Proc, toNode, name string) (int64, error) {
 	if !ok {
 		return 0, fmt.Errorf("storage: shared fs: no file %q", name)
 	}
+	sp := trace.Start(p, "storage", "read",
+		trace.L("fs", "shared"), trace.L("file", name), trace.L("node", toNode))
+	defer sp.End()
 	fs.disk.Read(p, size)
 	fs.net.Transfer(p, fs.host, toNode, size)
 	return size, nil

@@ -1,0 +1,269 @@
+// Package trace is a deterministic span tracer for the simulated testbed.
+//
+// A Tracer is attached to a sim.Env and shared by every substrate through the
+// environment (no global state): the workflow engine opens a span per
+// workflow and per task attempt, condor records queue/shadow/transfer/claim
+// phases, kube records pod bring-up, the container runtime records image
+// pulls and the create→start→exec→stop lifecycle, knative records
+// invocations with cold-start and queueing phases, and the storage services
+// record staging I/O. All timestamps are virtual-clock readings, so a trace
+// is bit-for-bit reproducible for a given seed — two same-seed runs export
+// byte-identical traces, which the determinism suite asserts.
+//
+// Spans form a forest: parentage is threaded either explicitly (an object
+// such as a condor job carries its span across processes) or implicitly via
+// the tracer's current-span stack, which exploits the kernel's cooperative
+// scheduling — exactly one process runs at a time, so "the current span of
+// the running process" is unambiguous. Substrates call trace.FromEnv and the
+// nil tracer is a no-op, so tracing costs nothing when not enabled.
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// envKey is the sim.Env attachment key the tracer lives under.
+const envKey = "repro/internal/trace"
+
+// SpanID identifies a span within its trace. IDs are assigned sequentially
+// from 1 in creation order; 0 means "no span" (a root's parent).
+type SpanID int
+
+// Label is one key/value annotation on a span.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Span is one timed interval of the simulation, attributed to a substrate
+// and a named operation within it.
+type Span struct {
+	id        SpanID
+	parent    SpanID
+	substrate string
+	name      string
+	labels    []Label
+	start     time.Duration
+	end       time.Duration
+	ended     bool
+	tracer    *Tracer
+}
+
+// ID returns the span's identifier.
+func (sp *Span) ID() SpanID { return sp.id }
+
+// Parent returns the parent span's ID (0 for roots).
+func (sp *Span) Parent() SpanID { return sp.parent }
+
+// Substrate returns the layer that emitted the span (wms, condor, kube,
+// registry, crt, knative, storage, exec).
+func (sp *Span) Substrate() string { return sp.substrate }
+
+// Name returns the operation name within the substrate.
+func (sp *Span) Name() string { return sp.name }
+
+// Start returns the span's start time on the virtual clock.
+func (sp *Span) Start() time.Duration { return sp.start }
+
+// EndTime returns the span's end time; valid only once Ended.
+func (sp *Span) EndTime() time.Duration { return sp.end }
+
+// Ended reports whether the span has been closed.
+func (sp *Span) Ended() bool { return sp != nil && sp.ended }
+
+// Duration returns end−start for ended spans and 0 otherwise.
+func (sp *Span) Duration() time.Duration {
+	if sp == nil || !sp.ended {
+		return 0
+	}
+	return sp.end - sp.start
+}
+
+// Labels returns the span's annotations in the order they were set.
+func (sp *Span) Labels() []Label {
+	if sp == nil {
+		return nil
+	}
+	return sp.labels
+}
+
+// Label returns the value of the named label.
+func (sp *Span) Label(key string) (string, bool) {
+	if sp == nil {
+		return "", false
+	}
+	for _, l := range sp.labels {
+		if l.Key == key {
+			return l.Value, true
+		}
+	}
+	return "", false
+}
+
+// SetLabel adds or replaces a label. Safe on a nil span.
+func (sp *Span) SetLabel(key, value string) {
+	if sp == nil {
+		return
+	}
+	for i, l := range sp.labels {
+		if l.Key == key {
+			sp.labels[i].Value = value
+			return
+		}
+	}
+	sp.labels = append(sp.labels, Label{Key: key, Value: value})
+}
+
+// End closes the span at the current virtual time. Ending an already-ended
+// or nil span is a no-op, so cleanup paths may End unconditionally.
+func (sp *Span) End() {
+	if sp == nil || sp.ended {
+		return
+	}
+	sp.ended = true
+	sp.end = sp.tracer.env.Now()
+}
+
+// Tracer collects spans for one simulation environment.
+type Tracer struct {
+	env   *sim.Env
+	spans []*Span
+	cur   map[int]*Span // proc ID → innermost open span
+}
+
+// New creates a tracer, attaches it to env, and returns it. Calling New
+// twice on one environment replaces the earlier tracer for subsequent
+// FromEnv lookups.
+func New(env *sim.Env) *Tracer {
+	t := &Tracer{env: env, cur: make(map[int]*Span)}
+	env.Attach(envKey, t)
+	return t
+}
+
+// FromEnv returns the tracer attached to env, or nil when tracing is off.
+// All Tracer and Span methods are nil-safe, so call sites need no guard.
+func FromEnv(env *sim.Env) *Tracer {
+	t, _ := env.Attached(envKey).(*Tracer)
+	return t
+}
+
+// Len returns the number of spans recorded so far.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.spans)
+}
+
+// Spans returns the recorded spans in creation order. The slice is shared;
+// callers must not mutate it.
+func (t *Tracer) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}
+
+// Span looks a span up by ID.
+func (t *Tracer) Span(id SpanID) *Span {
+	if t == nil || id < 1 || int(id) > len(t.spans) {
+		return nil
+	}
+	return t.spans[id-1]
+}
+
+// Start opens a span under the given parent (nil = root) beginning at the
+// current virtual time. Safe on a nil tracer (returns nil).
+func (t *Tracer) Start(parent *Span, substrate, name string, labels ...Label) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{
+		id:        SpanID(len(t.spans) + 1),
+		substrate: substrate,
+		name:      name,
+		labels:    labels,
+		start:     t.env.Now(),
+		tracer:    t,
+	}
+	if parent != nil {
+		sp.parent = parent.id
+	}
+	t.spans = append(t.spans, sp)
+	return sp
+}
+
+// Current returns the innermost open span of the running process, or nil
+// when none was pushed (or the scheduler itself is running).
+func (t *Tracer) Current() *Span {
+	if t == nil {
+		return nil
+	}
+	p := t.env.CurrentProc()
+	if p == nil {
+		return nil
+	}
+	return t.cur[p.ID()]
+}
+
+// StartCurrent opens a span parented on the running process's current span.
+func (t *Tracer) StartCurrent(substrate, name string, labels ...Label) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.Start(t.Current(), substrate, name, labels...)
+}
+
+// Push makes sp the running process's current span and returns the function
+// that restores the previous one. Typical use:
+//
+//	sp := tr.StartCurrent("condor", "payload")
+//	defer tr.Push(sp)()
+//	... nested calls parent their spans on sp via StartCurrent ...
+//	sp.End()
+//
+// Safe on a nil tracer and in scheduler context (both no-ops).
+func (t *Tracer) Push(sp *Span) func() {
+	if t == nil {
+		return func() {}
+	}
+	p := t.env.CurrentProc()
+	if p == nil {
+		return func() {}
+	}
+	id := p.ID()
+	prev, had := t.cur[id]
+	t.cur[id] = sp
+	return func() {
+		if had {
+			t.cur[id] = prev
+		} else {
+			delete(t.cur, id)
+		}
+	}
+}
+
+// Start is the substrate-side convenience: open a span parented on the
+// calling process's current span in p's environment. Returns nil (a no-op
+// span) when tracing is off.
+func Start(p *sim.Proc, substrate, name string, labels ...Label) *Span {
+	return FromEnv(p.Env()).StartCurrent(substrate, name, labels...)
+}
+
+// Sorted returns the spans ordered by (start, ID) — the canonical export
+// order, stable because IDs are assigned deterministically.
+func (t *Tracer) Sorted() []*Span {
+	out := append([]*Span(nil), t.Spans()...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].start != out[j].start {
+			return out[i].start < out[j].start
+		}
+		return out[i].id < out[j].id
+	})
+	return out
+}

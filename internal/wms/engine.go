@@ -3,6 +3,7 @@ package wms
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/cluster"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // ServiceResolver maps a transformation name to its deployed serverless
@@ -172,6 +174,11 @@ func (e *Engine) run(p *sim.Proc, wf *Workflow, assign ModeAssigner, rescue *Res
 	inflight := make(map[string]*condor.Job)
 	notBefore := make(map[string]time.Duration) // retry backoff gate
 
+	tracer := trace.FromEnv(e.Env)
+	wfSpan := tracer.StartCurrent("wms", "workflow", trace.L("workflow", wf.Name))
+	defer wfSpan.End()                    // End is idempotent; covers error returns too
+	spans := make(map[string]*trace.Span) // in-flight attempt spans by task
+
 	if rescue != nil {
 		// Rescue-DAG resume: finished tasks are planned out of the DAG and
 		// their recorded provenance carries over; checkpointed partial
@@ -208,12 +215,20 @@ func (e *Engine) run(p *sim.Proc, wf *Workflow, assign ModeAssigner, rescue *Res
 				continue
 			}
 			task, _ := wf.Task(id)
+			sp := tracer.Start(wfSpan, "wms", "task",
+				trace.L("workflow", wf.Name), trace.L("task", id),
+				trace.L("mode", modes[id].String()),
+				trace.L("attempt", strconv.Itoa(attempts[id]+1)))
+			popCur := tracer.Push(sp) // condor job span nests under the attempt
 			job, err := e.submitTask(wf, task, modes[id])
+			popCur()
 			if err != nil {
+				sp.End()
 				return err
 			}
 			attempts[id]++
 			inflight[id] = job
+			spans[id] = sp
 		}
 		return nil
 	}
@@ -240,6 +255,11 @@ func (e *Engine) run(p *sim.Proc, wf *Workflow, assign ModeAssigner, rescue *Res
 			case condor.StatusCompleted:
 				delete(inflight, id)
 				done[id] = true
+				// The attempt span closes when the engine observes completion
+				// (this poll tick), so its tail is the DAGMan-poll slack.
+				spans[id].SetLabel("node", job.Node())
+				spans[id].End()
+				delete(spans, id)
 				res.Tasks[id] = &TaskResult{
 					ID:          id,
 					Mode:        modes[id],
@@ -251,7 +271,11 @@ func (e *Engine) run(p *sim.Proc, wf *Workflow, assign ModeAssigner, rescue *Res
 				}
 			case condor.StatusFailed:
 				delete(inflight, id)
+				spans[id].SetLabel("status", "failed")
+				spans[id].End()
+				delete(spans, id)
 				if attempts[id] >= e.Retry.Attempts() {
+					wfSpan.SetLabel("status", "aborted")
 					// Retry budget exhausted: abort with a rescue capturing
 					// completed-task state. Jobs still in flight are
 					// abandoned (their results discarded); the rescue DAG
@@ -334,14 +358,19 @@ func (e *Engine) submitTask(wf *Workflow, task *TaskSpec, mode Mode) (*condor.Jo
 			if err := stageIn(ctx.Proc, ctx.Node.Name); err != nil {
 				return err
 			}
+			sp := trace.Start(ctx.Proc, "exec", "exec",
+				trace.L("task", name), trace.L("node", ctx.Node.Name))
 			if e.checkpointingActive() {
 				if err := e.runCheckpointed(ctx, name, task.EffectiveWorkScale()); err != nil {
+					sp.SetLabel("status", "failed")
+					sp.End()
 					return err
 				}
 			} else {
 				work := e.Cl.NextTaskWork() * task.EffectiveWorkScale()
 				ctx.Node.Exec(ctx.Proc, work, 1)
 			}
+			sp.End()
 			return stageOut(ctx.Proc, ctx.Node.Name)
 		}), nil
 
@@ -400,7 +429,10 @@ func (e *Engine) submitTask(wf *Workflow, task *TaskSpec, mode Mode) (*condor.Jo
 			return nil, fmt.Errorf("wms: no serverless function registered for transformation %q", task.Transformation)
 		}
 		return e.Pool.SubmitConstrained(name, task.Priority, requires, inBytes, outBytes, func(ctx *condor.ExecContext) error {
+			ws := trace.Start(ctx.Proc, "wms", "wrapper-startup",
+				trace.L("task", name), trace.L("node", ctx.Node.Name))
 			ctx.Proc.Sleep(e.Prm.WrapperStartup) // python invoker script startup
+			ws.End()
 			work := e.Cl.NextTaskWork() * task.EffectiveWorkScale()
 			req := knative.Request{
 				From:       ctx.Node.Name,
