@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -276,6 +277,65 @@ func burstLatency(seed uint64, cc int) float64 {
 	})
 	s.Env.Run()
 	return total.Seconds()
+}
+
+// ---- Replication-runner benchmarks ----
+
+// runnerBenchReps is the repetition count the runner benchmarks fan out —
+// large enough to keep every worker busy at the compared pool sizes.
+const runnerBenchReps = 8
+
+// BenchmarkRunnerWorkers measures replication throughput (reps/s of the
+// Fig. 5 centre point) at fixed pool sizes; compare the workers=1 and
+// workers=4 lines to see the runner's scaling on this host.
+func BenchmarkRunnerWorkers(b *testing.B) {
+	mix := experiments.Mix{Native: 1.0 / 3, Container: 1.0 / 3, Serverless: 1.0 / 3}
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			o := quickOpts()
+			o.Reps = runnerBenchReps
+			o.Workers = workers
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				experiments.RunMix(o, mix)
+			}
+			elapsed := time.Since(start).Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(runnerBenchReps*b.N)/elapsed, "reps/s")
+			}
+		})
+	}
+}
+
+// BenchmarkRunnerSpeedup runs the same seeded replication sweep at
+// workers=1 and workers=4 within one benchmark and reports the wall-clock
+// speedup directly (the CI bench-smoke step asserts nothing, but the metric
+// makes scaling regressions visible in the -bench output).
+func BenchmarkRunnerSpeedup(b *testing.B) {
+	mix := experiments.Mix{Native: 1.0 / 3, Container: 1.0 / 3, Serverless: 1.0 / 3}
+	o := quickOpts()
+	o.Reps = runnerBenchReps
+	var seqSecs, parSecs float64
+	for i := 0; i < b.N; i++ {
+		o.Workers = 1
+		t0 := time.Now()
+		seq := experiments.RunMix(o, mix)
+		seqSecs += time.Since(t0).Seconds()
+
+		o.Workers = 4
+		t0 = time.Now()
+		par := experiments.RunMix(o, mix)
+		parSecs += time.Since(t0).Seconds()
+
+		if seq != par {
+			b.Fatalf("worker counts disagree: %+v vs %+v", seq, par)
+		}
+	}
+	if parSecs > 0 {
+		b.ReportMetric(float64(runnerBenchReps*b.N)/parSecs, "reps/s")
+		b.ReportMetric(seqSecs/parSecs, "speedup_vs_workers1")
+	}
 }
 
 // ---- Simulator micro-benchmarks ----

@@ -10,6 +10,10 @@
 //	-reps N    repetitions (seeds) averaged per number (default: paper setup)
 //	-seed N    base random seed (default 1)
 //	-quick     down-scaled sweeps for a fast smoke run
+//	-workers N replication-runner pool size (0 = GOMAXPROCS, 1 = sequential)
+//
+// Results are identical at any -workers value: repetitions are isolated
+// simulations fanned across the pool and merged back in repetition order.
 package main
 
 import (
@@ -27,6 +31,7 @@ func main() {
 	reps := flag.Int("reps", 0, "repetitions per reported number (0 = paper default)")
 	seed := flag.Uint64("seed", 1, "base random seed")
 	quick := flag.Bool("quick", false, "down-scaled sweeps")
+	workers := flag.Int("workers", 0, "parallel replication workers (0 = GOMAXPROCS, 1 = sequential)")
 	traceOut := flag.String("trace-out", "", "with the trace experiment: write Chrome trace_event JSON to <prefix>-<mode>.json")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: repro [flags] {fig1|fig2|fig5|fig6|coldstart|config|all|datamove|resize|redirect|clustering|montage|isolation|chaos|trace|ext}\n")
@@ -47,6 +52,7 @@ func main() {
 	if *reps > 0 {
 		o.Reps = *reps
 	}
+	o.Workers = *workers
 
 	run := func(name string) error {
 		w := os.Stdout

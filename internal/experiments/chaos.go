@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/wms"
 	"repro/internal/workload"
@@ -99,15 +100,28 @@ func ChaosOnce(seed uint64, prm config.Params, rate float64, scheduleIncidents b
 	return out
 }
 
-// ChaosRow aggregates the repetitions at one failure rate.
+// ChaosRow aggregates the repetitions at one failure rate. Counters that can
+// accrue on runs which never finish (retries, fault events) are reported
+// under both denominators explicitly — per attempted run and per completed
+// run — instead of silently mixing them the way the first version of this
+// sweep did (makespan over completed, retries over attempted).
 type ChaosRow struct {
 	Rate           float64
+	Attempted      int
+	Completed      int
 	CompletionRate float64
 	MeanMakespan   float64 // seconds, over completed runs
+	StdMakespan    float64 // sample stddev over completed runs
 	InflationPct   float64 // vs the fault-free baseline
-	MeanRetries    float64
-	Rescues        int // total across reps
-	MeanFaults     float64
+	// MeanRetriesAttempted / MeanRetriesCompleted are the retry counter
+	// averaged over all attempted runs and over completed runs only.
+	MeanRetriesAttempted float64
+	MeanRetriesCompleted float64
+	Rescues              int // total across reps
+	// MeanFaultsAttempted / MeanFaultsCompleted are the injector's event
+	// count under each denominator.
+	MeanFaultsAttempted float64
+	MeanFaultsCompleted float64
 }
 
 // ChaosResult is the escalating-fault-rate study.
@@ -119,48 +133,61 @@ type ChaosResult struct {
 }
 
 // Chaos sweeps the transient-failure rate, reporting completion rate,
-// makespan inflation over a fault-free baseline, retry counts, and
-// rescue-DAG usage.
+// makespan inflation over a fault-free baseline, retry counts (under both
+// denominators), and rescue-DAG usage. The fault-free baseline block and
+// every (rate, rep) pair are independent seeded runs, so the whole study
+// fans out across the pool as one flat unit list.
 func Chaos(o Options) ChaosResult {
 	rates := []float64{0, 0.1, 0.25}
 	if o.Quick {
 		rates = []float64{0, 0.25}
 	}
+	// Unit layout: block 0 is the fault-free baseline, block 1+i is
+	// rates[i]; within a block, unit r carries seed o.Seed+r.
+	runs := parallel.Run((1+len(rates))*o.Reps, o.Workers, func(i int) ChaosRun {
+		block, r := i/o.Reps, i%o.Reps
+		seed := o.Seed + uint64(r)
+		if block == 0 {
+			return ChaosOnce(seed, o.Prm, 0, false, o.Quick)
+		}
+		return ChaosOnce(seed, o.Prm, rates[block-1], true, o.Quick)
+	})
+
 	var res ChaosResult
-
-	// Fault-free baseline: same workload and seeds, no incidents.
-	baseN := 0
+	var base metrics.Welford
 	for r := 0; r < o.Reps; r++ {
-		run := ChaosOnce(o.Seed+uint64(r), o.Prm, 0, false, o.Quick)
-		if run.Completed {
-			res.BaselineSec += run.MakespanSec
-			baseN++
+		if run := runs[r]; run.Completed {
+			base.Add(run.MakespanSec)
 		}
 	}
-	if baseN > 0 {
-		res.BaselineSec /= float64(baseN)
-	}
+	res.BaselineSec = base.Mean()
 
-	for _, rate := range rates {
+	for ri, rate := range rates {
 		row := ChaosRow{Rate: rate}
-		completed := 0
+		var mk, retA, retC, fltA, fltC metrics.Welford
 		for r := 0; r < o.Reps; r++ {
-			run := ChaosOnce(o.Seed+uint64(r), o.Prm, rate, true, o.Quick)
-			if run.Completed {
-				completed++
-				row.MeanMakespan += run.MakespanSec
-			}
-			row.MeanRetries += float64(run.Retries)
+			run := runs[(1+ri)*o.Reps+r]
+			retA.Add(float64(run.Retries))
+			fltA.Add(float64(run.FaultEvents))
 			row.Rescues += run.Rescues
-			row.MeanFaults += float64(run.FaultEvents)
+			if run.Completed {
+				mk.Add(run.MakespanSec)
+				retC.Add(float64(run.Retries))
+				fltC.Add(float64(run.FaultEvents))
+			}
 		}
-		if completed > 0 {
-			row.MeanMakespan /= float64(completed)
+		row.Attempted = retA.N()
+		row.Completed = mk.N()
+		if row.Attempted > 0 {
+			row.CompletionRate = float64(row.Completed) / float64(row.Attempted)
 		}
-		row.CompletionRate = float64(completed) / float64(o.Reps)
-		row.MeanRetries /= float64(o.Reps)
-		row.MeanFaults /= float64(o.Reps)
-		if res.BaselineSec > 0 && completed > 0 {
+		row.MeanMakespan = mk.Mean()
+		row.StdMakespan = mk.Std()
+		row.MeanRetriesAttempted = retA.Mean()
+		row.MeanRetriesCompleted = retC.Mean()
+		row.MeanFaultsAttempted = fltA.Mean()
+		row.MeanFaultsCompleted = fltC.Mean()
+		if res.BaselineSec > 0 && row.Completed > 0 {
 			row.InflationPct = (row.MeanMakespan/res.BaselineSec - 1) * 100
 		}
 		res.Rows = append(res.Rows, row)
@@ -170,9 +197,10 @@ func Chaos(o Options) ChaosResult {
 
 // WriteTable renders the chaos study.
 func (r ChaosResult) WriteTable(w io.Writer) error {
-	tbl := metrics.NewTable("fault_rate", "completion", "makespan_s", "inflation_pct", "retries", "rescues", "fault_events")
+	tbl := metrics.NewTable("fault_rate", "completion", "n", "makespan_s", "makespan_std_s", "inflation_pct", "retries/att", "retries/compl", "rescues", "faults/att", "faults/compl")
 	for _, row := range r.Rows {
-		tbl.AddRow(fmt.Sprintf("%.2f", row.Rate), row.CompletionRate, row.MeanMakespan, row.InflationPct, row.MeanRetries, row.Rescues, row.MeanFaults)
+		tbl.AddRow(fmt.Sprintf("%.2f", row.Rate), row.CompletionRate, row.Completed, row.MeanMakespan, row.StdMakespan, row.InflationPct,
+			row.MeanRetriesAttempted, row.MeanRetriesCompleted, row.Rescues, row.MeanFaultsAttempted, row.MeanFaultsCompleted)
 	}
 	if err := tbl.Write(w); err != nil {
 		return err

@@ -8,36 +8,49 @@ import (
 	"repro/internal/core"
 	"repro/internal/knative"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
 // ColdStartResult compares a scale-from-zero invocation with a warm one —
-// the 1.48 s annotation of Fig. 1.
+// the 1.48 s annotation of Fig. 1 (each latency mean ± sample stddev over
+// N seeded repetitions).
 type ColdStartResult struct {
 	ColdSecs float64
+	ColdStd  float64
 	WarmSecs float64
-	// ColdPrePulled separates the image-staged cold start (the paper's
+	WarmStd  float64
+	// ColdNoImageSecs separates the image-staged cold start (the paper's
 	// number) from a fully cold node that must pull the image first.
 	ColdNoImageSecs float64
+	ColdNoImageStd  float64
+	N               int
 }
 
 // ColdStart measures the three latencies, averaged over o.Reps seeds.
 func ColdStart(o Options) ColdStartResult {
-	var res ColdStartResult
-	for r := 0; r < o.Reps; r++ {
-		seed := o.Seed + uint64(r)
+	type coldRep struct{ cold, warm, coldNoImg float64 }
+	runs := parallel.RunSeeded(o.Reps, o.Workers, o.Seed, func(rep int, seed uint64) coldRep {
 		cold, warm := coldStartOnce(seed, o, true)
 		coldNoImg, _ := coldStartOnce(seed, o, false)
-		res.ColdSecs += cold
-		res.WarmSecs += warm
-		res.ColdNoImageSecs += coldNoImg
+		return coldRep{cold, warm, coldNoImg}
+	})
+	var cw, ww, nw metrics.Welford
+	for _, rep := range runs {
+		cw.Add(rep.cold)
+		ww.Add(rep.warm)
+		nw.Add(rep.coldNoImg)
 	}
-	reps := float64(o.Reps)
-	res.ColdSecs /= reps
-	res.WarmSecs /= reps
-	res.ColdNoImageSecs /= reps
-	return res
+	return ColdStartResult{
+		ColdSecs:        cw.Mean(),
+		ColdStd:         cw.Std(),
+		WarmSecs:        ww.Mean(),
+		WarmStd:         ww.Std(),
+		ColdNoImageSecs: nw.Mean(),
+		ColdNoImageStd:  nw.Std(),
+		N:               cw.N(),
+	}
 }
 
 func coldStartOnce(seed uint64, o Options, prePull bool) (coldSecs, warmSecs float64) {
@@ -73,10 +86,10 @@ func coldStartOnce(seed uint64, o Options, prePull bool) (coldSecs, warmSecs flo
 
 // WriteTable renders the comparison.
 func (r ColdStartResult) WriteTable(w io.Writer) error {
-	tbl := metrics.NewTable("path", "latency_s")
-	tbl.AddRow("cold (image staged)", r.ColdSecs)
-	tbl.AddRow("cold (image pull included)", r.ColdNoImageSecs)
-	tbl.AddRow("warm (container reused)", r.WarmSecs)
+	tbl := metrics.NewTable("path", "latency_s", "std_s", "n")
+	tbl.AddRow("cold (image staged)", r.ColdSecs, r.ColdStd, r.N)
+	tbl.AddRow("cold (image pull included)", r.ColdNoImageSecs, r.ColdNoImageStd, r.N)
+	tbl.AddRow("warm (container reused)", r.WarmSecs, r.WarmStd, r.N)
 	if err := tbl.Write(w); err != nil {
 		return err
 	}

@@ -20,6 +20,13 @@ type Options struct {
 	// Quick shrinks sweeps for use under `go test` and testing.B; the
 	// full-size sweep is used by cmd/repro.
 	Quick bool
+	// Workers bounds the replication runner's pool: seeded repetitions
+	// (and independent sweep points) fan out across this many OS-level
+	// workers. 0 means GOMAXPROCS; 1 reproduces the old sequential loops
+	// exactly. Results are identical at any worker count — each rep is an
+	// isolated sim.Env and aggregation folds rep-indexed results in rep
+	// order (see internal/parallel).
+	Workers int
 }
 
 // DefaultOptions returns the full-size configuration used by cmd/repro.

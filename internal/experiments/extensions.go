@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/knative"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/wms"
 	"repro/internal/workload"
@@ -22,11 +23,16 @@ import (
 // isolation.go. All are extensions beyond the paper's evaluated figures,
 // reported separately in EXPERIMENTS.md.
 
-// DataMovementRow compares one (mode, staging) combination.
+// DataMovementRow compares one (mode, staging) combination. All means are
+// over completed repetitions only — a rep whose workflow aborts no longer
+// contributes a zero to the numerator while still counting in the
+// denominator (the contamination bug the first version had); instead it
+// lowers CompletionRate.
 type DataMovementRow struct {
-	Mode     wms.Mode
-	Staging  wms.DataStaging
-	Makespan float64
+	Mode        wms.Mode
+	Staging     wms.DataStaging
+	Makespan    float64
+	MakespanStd float64
 	// SubmitTxMB and SubmitRxMB are the bytes crossing the submit node's
 	// interface; TotalMB is all data movement on the fabric — the
 	// redundant-movement cost §VIII highlights shows up as total ≫ submit
@@ -34,6 +40,10 @@ type DataMovementRow struct {
 	SubmitTxMB float64
 	SubmitRxMB float64
 	TotalMB    float64
+	// N is the completed-rep count behind the means; CompletionRate is
+	// N over attempted reps.
+	N              int
+	CompletionRate float64
 }
 
 // DataMovementResult is the §VIII comparative communication study.
@@ -59,41 +69,65 @@ func DataMovement(o Options) DataMovementResult {
 		{wms.ModeServerless, wms.StageSharedFS},
 		{wms.ModeServerless, wms.StageObjectStore},
 	}
+	type dmRep struct {
+		ok                     bool
+		makespan               float64
+		submitTx, submitRx, tt float64
+	}
+	runs := parallel.Run(len(combos)*o.Reps, o.Workers, func(i int) dmRep {
+		combo := combos[i/o.Reps]
+		seed := o.Seed + uint64(i%o.Reps)
+		s := core.NewStack(seed, o.Prm)
+		s.RegisterTransformation(workload.MatmulTransformation, o.Prm.ImageLayersBytes[len(o.Prm.ImageLayersBytes)-1])
+		s.Engine.Staging = combo.staging
+		var rep dmRep
+		s.Env.Go("main", func(p *sim.Proc) {
+			defer s.Shutdown()
+			if combo.mode == wms.ModeServerless {
+				if err := s.DeployFunction(p, workload.MatmulTransformation, core.ReusePolicy()); err != nil {
+					return // failed rep: counts against CompletionRate
+				}
+			}
+			txBase := s.Cluster.Net.BytesSent(cluster.SubmitNodeName)
+			rxBase := s.Cluster.Net.BytesReceived(cluster.SubmitNodeName)
+			totalBase := s.Cluster.Net.TotalBytesSent()
+			wf := workload.Chain("dm", tasks, o.Prm.MatrixBytes)
+			result, err := s.Engine.RunWorkflow(p, wf, wms.AssignAll(combo.mode))
+			if err != nil {
+				return
+			}
+			rep.ok = true
+			rep.makespan = result.Makespan().Seconds()
+			rep.submitTx = float64(s.Cluster.Net.BytesSent(cluster.SubmitNodeName)-txBase) / 1e6
+			rep.submitRx = float64(s.Cluster.Net.BytesReceived(cluster.SubmitNodeName)-rxBase) / 1e6
+			rep.tt = float64(s.Cluster.Net.TotalBytesSent()-totalBase) / 1e6
+		})
+		s.Env.Run()
+		return rep
+	})
 	var res DataMovementResult
-	for _, combo := range combos {
+	for ci, combo := range combos {
 		row := DataMovementRow{Mode: combo.mode, Staging: combo.staging}
+		var mk, tx, rx, tt metrics.Welford
 		for r := 0; r < o.Reps; r++ {
-			seed := o.Seed + uint64(r)
-			s := core.NewStack(seed, o.Prm)
-			s.RegisterTransformation(workload.MatmulTransformation, o.Prm.ImageLayersBytes[len(o.Prm.ImageLayersBytes)-1])
-			s.Engine.Staging = combo.staging
-			s.Env.Go("main", func(p *sim.Proc) {
-				defer s.Shutdown()
-				if combo.mode == wms.ModeServerless {
-					if err := s.DeployFunction(p, workload.MatmulTransformation, core.ReusePolicy()); err != nil {
-						panic(err)
-					}
-				}
-				txBase := s.Cluster.Net.BytesSent(cluster.SubmitNodeName)
-				rxBase := s.Cluster.Net.BytesReceived(cluster.SubmitNodeName)
-				totalBase := s.Cluster.Net.TotalBytesSent()
-				wf := workload.Chain("dm", tasks, o.Prm.MatrixBytes)
-				result, err := s.Engine.RunWorkflow(p, wf, wms.AssignAll(combo.mode))
-				if err != nil {
-					panic(err)
-				}
-				row.Makespan += result.Makespan().Seconds()
-				row.SubmitTxMB += float64(s.Cluster.Net.BytesSent(cluster.SubmitNodeName)-txBase) / 1e6
-				row.SubmitRxMB += float64(s.Cluster.Net.BytesReceived(cluster.SubmitNodeName)-rxBase) / 1e6
-				row.TotalMB += float64(s.Cluster.Net.TotalBytesSent()-totalBase) / 1e6
-			})
-			s.Env.Run()
+			rep := runs[ci*o.Reps+r]
+			if !rep.ok {
+				continue
+			}
+			mk.Add(rep.makespan)
+			tx.Add(rep.submitTx)
+			rx.Add(rep.submitRx)
+			tt.Add(rep.tt)
 		}
-		reps := float64(o.Reps)
-		row.Makespan /= reps
-		row.SubmitTxMB /= reps
-		row.SubmitRxMB /= reps
-		row.TotalMB /= reps
+		row.Makespan = mk.Mean()
+		row.MakespanStd = mk.Std()
+		row.SubmitTxMB = tx.Mean()
+		row.SubmitRxMB = rx.Mean()
+		row.TotalMB = tt.Mean()
+		row.N = mk.N()
+		if o.Reps > 0 {
+			row.CompletionRate = float64(row.N) / float64(o.Reps)
+		}
 		res.Rows = append(res.Rows, row)
 	}
 	return res
@@ -101,9 +135,9 @@ func DataMovement(o Options) DataMovementResult {
 
 // WriteTable renders the communication study.
 func (r DataMovementResult) WriteTable(w io.Writer) error {
-	tbl := metrics.NewTable("mode", "staging", "makespan_s", "submit_tx_MB", "submit_rx_MB", "total_MB")
+	tbl := metrics.NewTable("mode", "staging", "makespan_s", "std_s", "submit_tx_MB", "submit_rx_MB", "total_MB", "n", "completion")
 	for _, row := range r.Rows {
-		tbl.AddRow(row.Mode.String(), row.Staging.String(), row.Makespan, row.SubmitTxMB, row.SubmitRxMB, row.TotalMB)
+		tbl.AddRow(row.Mode.String(), row.Staging.String(), row.Makespan, row.MakespanStd, row.SubmitTxMB, row.SubmitRxMB, row.TotalMB, row.N, row.CompletionRate)
 	}
 	if err := tbl.Write(w); err != nil {
 		return err
@@ -112,11 +146,15 @@ func (r DataMovementResult) WriteTable(w io.Writer) error {
 	return err
 }
 
-// ResizingRow is one split factor of the §IX-C study.
+// ResizingRow is one split factor of the §IX-C study (makespan mean ± std
+// over the N completed reps).
 type ResizingRow struct {
-	Split    int
-	Tasks    int
-	Makespan float64
+	Split          int
+	Tasks          int
+	Makespan       float64
+	MakespanStd    float64
+	N              int
+	CompletionRate float64
 }
 
 // ResizingResult is the task-resizing study.
@@ -136,30 +174,47 @@ func Resizing(o Options) ResizingResult {
 	if o.Quick {
 		splits = []int{1, 4}
 	}
+	type rzRep struct {
+		ok       bool
+		makespan float64
+	}
+	runs := parallel.Run(len(splits)*o.Reps, o.Workers, func(i int) rzRep {
+		split := splits[i/o.Reps]
+		seed := o.Seed + uint64(i%o.Reps)
+		s := core.NewStack(seed, o.Prm)
+		s.RegisterTransformation(workload.MatmulTransformation, o.Prm.ImageLayersBytes[len(o.Prm.ImageLayersBytes)-1])
+		var rep rzRep
+		s.Env.Go("main", func(p *sim.Proc) {
+			defer s.Shutdown()
+			if err := s.DeployFunction(p, workload.MatmulTransformation, core.DefaultPolicy()); err != nil {
+				return
+			}
+			wf := workload.SplitChain("rz", stages, split, o.Prm.MatrixBytes, workScale, splitOverhead)
+			result, err := s.Engine.RunWorkflow(p, wf, wms.AssignAll(wms.ModeServerless))
+			if err != nil {
+				return
+			}
+			rep.ok = true
+			rep.makespan = result.Makespan().Seconds()
+		})
+		s.Env.Run()
+		return rep
+	})
 	var res ResizingResult
-	for _, split := range splits {
+	for si, split := range splits {
 		row := ResizingRow{Split: split, Tasks: stages * split}
+		var mk metrics.Welford
 		for r := 0; r < o.Reps; r++ {
-			seed := o.Seed + uint64(r)
-			s := core.NewStack(seed, o.Prm)
-			s.RegisterTransformation(workload.MatmulTransformation, o.Prm.ImageLayersBytes[len(o.Prm.ImageLayersBytes)-1])
-			var makespan time.Duration
-			s.Env.Go("main", func(p *sim.Proc) {
-				defer s.Shutdown()
-				if err := s.DeployFunction(p, workload.MatmulTransformation, core.DefaultPolicy()); err != nil {
-					panic(err)
-				}
-				wf := workload.SplitChain("rz", stages, split, o.Prm.MatrixBytes, workScale, splitOverhead)
-				result, err := s.Engine.RunWorkflow(p, wf, wms.AssignAll(wms.ModeServerless))
-				if err != nil {
-					panic(err)
-				}
-				makespan = result.Makespan()
-			})
-			s.Env.Run()
-			row.Makespan += makespan.Seconds()
+			if rep := runs[si*o.Reps+r]; rep.ok {
+				mk.Add(rep.makespan)
+			}
 		}
-		row.Makespan /= float64(o.Reps)
+		row.Makespan = mk.Mean()
+		row.MakespanStd = mk.Std()
+		row.N = mk.N()
+		if o.Reps > 0 {
+			row.CompletionRate = float64(row.N) / float64(o.Reps)
+		}
 		res.Rows = append(res.Rows, row)
 	}
 	return res
@@ -167,9 +222,9 @@ func Resizing(o Options) ResizingResult {
 
 // WriteTable renders the resizing study.
 func (r ResizingResult) WriteTable(w io.Writer) error {
-	tbl := metrics.NewTable("split", "tasks", "makespan_s")
+	tbl := metrics.NewTable("split", "tasks", "makespan_s", "std_s", "n", "completion")
 	for _, row := range r.Rows {
-		tbl.AddRow(row.Split, row.Tasks, row.Makespan)
+		tbl.AddRow(row.Split, row.Tasks, row.Makespan, row.MakespanStd, row.N, row.CompletionRate)
 	}
 	if err := tbl.Write(w); err != nil {
 		return err
@@ -178,11 +233,15 @@ func (r ResizingResult) WriteTable(w io.Writer) error {
 	return err
 }
 
-// MontageRow is one execution mode of the complex-workflow study.
+// MontageRow is one execution mode of the complex-workflow study (makespan
+// mean ± std over the N completed reps).
 type MontageRow struct {
-	Mode     wms.Mode
-	Tasks    int
-	Makespan float64
+	Mode           wms.Mode
+	Tasks          int
+	Makespan       float64
+	MakespanStd    float64
+	N              int
+	CompletionRate float64
 }
 
 // MontageResult is the §IX-A study: the three execution environments on a
@@ -200,35 +259,58 @@ func Montage(o Options) MontageResult {
 	if o.Quick {
 		tiles = 4
 	}
+	modes := []wms.Mode{wms.ModeNative, wms.ModeServerless, wms.ModeContainer}
+	type mtRep struct {
+		ok       bool
+		tasks    int
+		makespan float64
+	}
+	runs := parallel.Run(len(modes)*o.Reps, o.Workers, func(i int) mtRep {
+		mode := modes[i/o.Reps]
+		seed := o.Seed + uint64(i%o.Reps)
+		s := core.NewStack(seed, o.Prm)
+		var rep mtRep
+		s.Env.Go("main", func(p *sim.Proc) {
+			defer s.Shutdown()
+			wf := workload.Montage("mosaic", tiles, 4<<20)
+			rep.tasks = wf.Len()
+			if mode == wms.ModeServerless {
+				if err := s.AutoIntegrate(p, wf, core.DefaultPolicy()); err != nil {
+					return
+				}
+			} else {
+				// Catalog registration only (no function deployment).
+				for _, tr := range workload.MontageTransformations() {
+					s.RegisterTransformation(tr, o.Prm.ImageLayersBytes[len(o.Prm.ImageLayersBytes)-1])
+				}
+			}
+			result, err := s.Engine.RunWorkflow(p, wf, wms.AssignAll(mode))
+			if err != nil {
+				return
+			}
+			rep.ok = true
+			rep.makespan = result.Makespan().Seconds()
+		})
+		s.Env.Run()
+		return rep
+	})
 	var res MontageResult
-	for _, mode := range []wms.Mode{wms.ModeNative, wms.ModeServerless, wms.ModeContainer} {
+	for mi, mode := range modes {
 		row := MontageRow{Mode: mode}
+		var mk metrics.Welford
 		for r := 0; r < o.Reps; r++ {
-			seed := o.Seed + uint64(r)
-			s := core.NewStack(seed, o.Prm)
-			s.Env.Go("main", func(p *sim.Proc) {
-				defer s.Shutdown()
-				wf := workload.Montage("mosaic", tiles, 4<<20)
-				row.Tasks = wf.Len()
-				if mode == wms.ModeServerless {
-					if err := s.AutoIntegrate(p, wf, core.DefaultPolicy()); err != nil {
-						panic(err)
-					}
-				} else {
-					// Catalog registration only (no function deployment).
-					for _, tr := range workload.MontageTransformations() {
-						s.RegisterTransformation(tr, o.Prm.ImageLayersBytes[len(o.Prm.ImageLayersBytes)-1])
-					}
-				}
-				result, err := s.Engine.RunWorkflow(p, wf, wms.AssignAll(mode))
-				if err != nil {
-					panic(err)
-				}
-				row.Makespan += result.Makespan().Seconds()
-			})
-			s.Env.Run()
+			rep := runs[mi*o.Reps+r]
+			row.Tasks = rep.tasks
+			if rep.ok {
+				mk.Add(rep.makespan)
+			}
 		}
-		row.Makespan /= float64(o.Reps)
+		row.Makespan = mk.Mean()
+		row.MakespanStd = mk.Std()
+		row.N = mk.N()
+		if o.Reps > 0 {
+			row.CompletionRate = float64(row.N) / float64(o.Reps)
+		}
 		res.Rows = append(res.Rows, row)
 	}
 	return res
@@ -236,9 +318,9 @@ func Montage(o Options) MontageResult {
 
 // WriteTable renders the complex-workflow study.
 func (r MontageResult) WriteTable(w io.Writer) error {
-	tbl := metrics.NewTable("mode", "tasks", "makespan_s")
+	tbl := metrics.NewTable("mode", "tasks", "makespan_s", "std_s", "n", "completion")
 	for _, row := range r.Rows {
-		tbl.AddRow(row.Mode.String(), row.Tasks, row.Makespan)
+		tbl.AddRow(row.Mode.String(), row.Tasks, row.Makespan, row.MakespanStd, row.N, row.CompletionRate)
 	}
 	if err := tbl.Write(w); err != nil {
 		return err
@@ -247,11 +329,15 @@ func (r MontageResult) WriteTable(w io.Writer) error {
 	return err
 }
 
-// ClusteringRow is one cluster size of the task-clustering study.
+// ClusteringRow is one cluster size of the task-clustering study (makespan
+// mean ± std over the N completed reps).
 type ClusteringRow struct {
-	Label    string
-	Jobs     int
-	Makespan float64
+	Label          string
+	Jobs           int
+	Makespan       float64
+	MakespanStd    float64
+	N              int
+	CompletionRate float64
 }
 
 // ClusteringResult is the §II-C task-clustering study: Pegasus's classic
@@ -270,52 +356,80 @@ func Clustering(o Options) ClusteringResult {
 		tasks = 6
 		sizes = []int{1, 3}
 	}
-	var res ClusteringResult
-	runOne := func(label string, mode wms.Mode, clusterSize int) ClusteringRow {
-		row := ClusteringRow{Label: label}
-		for r := 0; r < o.Reps; r++ {
-			seed := o.Seed + uint64(r)
-			s := core.NewStack(seed, o.Prm)
-			s.RegisterTransformation(workload.MatmulTransformation, o.Prm.ImageLayersBytes[len(o.Prm.ImageLayersBytes)-1])
-			s.Env.Go("main", func(p *sim.Proc) {
-				defer s.Shutdown()
-				if mode == wms.ModeServerless {
-					if err := s.DeployFunction(p, workload.MatmulTransformation, core.ReusePolicy()); err != nil {
-						panic(err)
-					}
-				}
-				wf := workload.Chain("cl", tasks, o.Prm.MatrixBytes)
-				if clusterSize > 1 {
-					var err error
-					wf, err = wms.ClusterVertical(wf, clusterSize)
-					if err != nil {
-						panic(err)
-					}
-				}
-				row.Jobs = wf.Len()
-				result, err := s.Engine.RunWorkflow(p, wf, wms.AssignAll(mode))
-				if err != nil {
-					panic(err)
-				}
-				row.Makespan += result.Makespan().Seconds()
-			})
-			s.Env.Run()
-		}
-		row.Makespan /= float64(o.Reps)
-		return row
+	type clCfg struct {
+		label       string
+		mode        wms.Mode
+		clusterSize int
 	}
+	var cfgs []clCfg
 	for _, size := range sizes {
-		res.Rows = append(res.Rows, runOne(fmt.Sprintf("native, cluster=%d", size), wms.ModeNative, size))
+		cfgs = append(cfgs, clCfg{fmt.Sprintf("native, cluster=%d", size), wms.ModeNative, size})
 	}
-	res.Rows = append(res.Rows, runOne("serverless, unclustered", wms.ModeServerless, 1))
+	cfgs = append(cfgs, clCfg{"serverless, unclustered", wms.ModeServerless, 1})
+	type clRep struct {
+		ok       bool
+		jobs     int
+		makespan float64
+	}
+	runs := parallel.Run(len(cfgs)*o.Reps, o.Workers, func(i int) clRep {
+		cfg := cfgs[i/o.Reps]
+		seed := o.Seed + uint64(i%o.Reps)
+		s := core.NewStack(seed, o.Prm)
+		s.RegisterTransformation(workload.MatmulTransformation, o.Prm.ImageLayersBytes[len(o.Prm.ImageLayersBytes)-1])
+		var rep clRep
+		s.Env.Go("main", func(p *sim.Proc) {
+			defer s.Shutdown()
+			if cfg.mode == wms.ModeServerless {
+				if err := s.DeployFunction(p, workload.MatmulTransformation, core.ReusePolicy()); err != nil {
+					return
+				}
+			}
+			wf := workload.Chain("cl", tasks, o.Prm.MatrixBytes)
+			if cfg.clusterSize > 1 {
+				var err error
+				wf, err = wms.ClusterVertical(wf, cfg.clusterSize)
+				if err != nil {
+					panic(err) // malformed sweep configuration, not a run failure
+				}
+			}
+			rep.jobs = wf.Len()
+			result, err := s.Engine.RunWorkflow(p, wf, wms.AssignAll(cfg.mode))
+			if err != nil {
+				return
+			}
+			rep.ok = true
+			rep.makespan = result.Makespan().Seconds()
+		})
+		s.Env.Run()
+		return rep
+	})
+	var res ClusteringResult
+	for ci, cfg := range cfgs {
+		row := ClusteringRow{Label: cfg.label}
+		var mk metrics.Welford
+		for r := 0; r < o.Reps; r++ {
+			rep := runs[ci*o.Reps+r]
+			row.Jobs = rep.jobs
+			if rep.ok {
+				mk.Add(rep.makespan)
+			}
+		}
+		row.Makespan = mk.Mean()
+		row.MakespanStd = mk.Std()
+		row.N = mk.N()
+		if o.Reps > 0 {
+			row.CompletionRate = float64(row.N) / float64(o.Reps)
+		}
+		res.Rows = append(res.Rows, row)
+	}
 	return res
 }
 
 // WriteTable renders the clustering study.
 func (r ClusteringResult) WriteTable(w io.Writer) error {
-	tbl := metrics.NewTable("configuration", "condor_jobs", "makespan_s")
+	tbl := metrics.NewTable("configuration", "condor_jobs", "makespan_s", "std_s", "n", "completion")
 	for _, row := range r.Rows {
-		tbl.AddRow(row.Label, row.Jobs, row.Makespan)
+		tbl.AddRow(row.Label, row.Jobs, row.Makespan, row.MakespanStd, row.N, row.CompletionRate)
 	}
 	if err := tbl.Write(w); err != nil {
 		return err
@@ -324,11 +438,14 @@ func (r ClusteringResult) WriteTable(w io.Writer) error {
 	return err
 }
 
-// RedirectionRow is one routing policy under a node hotspot.
+// RedirectionRow is one routing policy under a node hotspot; statistics are
+// over the pooled per-request latencies of all N samples (o.Reps runs).
 type RedirectionRow struct {
 	Policy  string
 	MeanSec float64
+	StdSec  float64
 	P95Sec  float64
+	N       int
 }
 
 // RedirectionResult is the §IX-D task-redirection study.
@@ -343,23 +460,36 @@ func Redirection(o Options) RedirectionResult {
 	if o.Quick {
 		requests = 12
 	}
-	var res RedirectionResult
-	for _, pol := range []struct {
+	policies := []struct {
 		name  string
 		route knative.RoutePolicy
 	}{
 		{"least-requests", knative.RouteLeastRequests},
 		{"least-node-load", knative.RouteLeastNodeLoad},
-	} {
+	}
+	runs := parallel.Run(len(policies)*o.Reps, o.Workers, func(i int) []float64 {
+		pol := policies[i/o.Reps]
+		seed := o.Seed + uint64(i%o.Reps)
+		return redirectionOnce(seed, o, pol.route, requests)
+	})
+	var res RedirectionResult
+	for pi, pol := range policies {
+		// Concatenate per-rep latency slices in rep order — identical to
+		// the old sequential append loop at any worker count.
 		var lats []float64
 		for r := 0; r < o.Reps; r++ {
-			seed := o.Seed + uint64(r)
-			lats = append(lats, redirectionOnce(seed, o, pol.route, requests)...)
+			lats = append(lats, runs[pi*o.Reps+r]...)
+		}
+		var w metrics.Welford
+		for _, l := range lats {
+			w.Add(l)
 		}
 		res.Rows = append(res.Rows, RedirectionRow{
 			Policy:  pol.name,
-			MeanSec: metrics.Mean(lats),
+			MeanSec: w.Mean(),
+			StdSec:  w.Std(),
 			P95Sec:  metrics.Percentile(lats, 95),
+			N:       w.N(),
 		})
 	}
 	return res
@@ -425,9 +555,9 @@ func redirectionOnce(seed uint64, o Options, route knative.RoutePolicy, requests
 
 // WriteTable renders the redirection study.
 func (r RedirectionResult) WriteTable(w io.Writer) error {
-	tbl := metrics.NewTable("routing", "mean_latency_s", "p95_latency_s")
+	tbl := metrics.NewTable("routing", "mean_latency_s", "std_s", "p95_latency_s", "n")
 	for _, row := range r.Rows {
-		tbl.AddRow(row.Policy, row.MeanSec, row.P95Sec)
+		tbl.AddRow(row.Policy, row.MeanSec, row.StdSec, row.P95Sec, row.N)
 	}
 	if err := tbl.Write(w); err != nil {
 		return err

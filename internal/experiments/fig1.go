@@ -11,18 +11,23 @@ import (
 	"repro/internal/knative"
 	"repro/internal/kube"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/registry"
 	"repro/internal/sim"
 )
 
 // Fig1Row is one x-position of Fig. 1: total time to run `Tasks` sequential
-// matrix multiplications under each container-management strategy.
+// matrix multiplications under each container-management strategy, averaged
+// over the seeded repetitions (mean ± sample stddev over N reps).
 type Fig1Row struct {
 	Tasks        int
 	DockerSecs   float64
+	DockerStd    float64
 	KnativeSecs  float64
+	KnativeStd   float64
 	DockerPerTk  float64
 	KnativePerTk float64
+	N            int
 }
 
 // Fig1Result is the full figure: the series, the regression fits the paper
@@ -48,26 +53,36 @@ func Fig1(o Options) Fig1Result {
 		sizes = []int{20, 60, 100}
 	}
 	var res Fig1Result
-	for _, n := range sizes {
-		var dSum, kSum, cSum float64
+	// Every (size, rep) pair is an isolated simulation; fan the whole sweep
+	// across the pool and aggregate per size in rep order afterwards.
+	type fig1Rep struct{ docker, knative, cold float64 }
+	runs := parallel.Run(len(sizes)*o.Reps, o.Workers, func(i int) fig1Rep {
+		n := sizes[i/o.Reps]
+		seed := o.Seed + uint64(i%o.Reps)
+		d := fig1Docker(seed, o.Prm, n)
+		k, cold := fig1Knative(seed, o.Prm, n)
+		return fig1Rep{d.Seconds(), k.Seconds(), cold.Seconds()}
+	})
+	for si, n := range sizes {
+		var dw, kw, cw metrics.Welford
 		for r := 0; r < o.Reps; r++ {
-			seed := o.Seed + uint64(r)
-			d := fig1Docker(seed, o.Prm, n)
-			k, cold := fig1Knative(seed, o.Prm, n)
-			dSum += d.Seconds()
-			kSum += k.Seconds()
-			cSum += cold.Seconds()
+			rep := runs[si*o.Reps+r]
+			dw.Add(rep.docker)
+			kw.Add(rep.knative)
+			cw.Add(rep.cold)
 		}
-		reps := float64(o.Reps)
 		row := Fig1Row{
 			Tasks:       n,
-			DockerSecs:  dSum / reps,
-			KnativeSecs: kSum / reps,
+			DockerSecs:  dw.Mean(),
+			DockerStd:   dw.Std(),
+			KnativeSecs: kw.Mean(),
+			KnativeStd:  kw.Std(),
+			N:           dw.N(),
 		}
 		row.DockerPerTk = row.DockerSecs / float64(n)
 		row.KnativePerTk = row.KnativeSecs / float64(n)
 		res.Rows = append(res.Rows, row)
-		res.ColdStartSecs = cSum / reps
+		res.ColdStartSecs = cw.Mean()
 	}
 	xs := make([]float64, len(res.Rows))
 	dy := make([]float64, len(res.Rows))
@@ -177,9 +192,9 @@ func durationFromWork(coreSeconds float64) time.Duration {
 
 // WriteTable renders the figure's series and annotations.
 func (r Fig1Result) WriteTable(w io.Writer) error {
-	tbl := metrics.NewTable("tasks", "docker_total_s", "knative_total_s", "docker_per_task_s", "knative_per_task_s")
+	tbl := metrics.NewTable("tasks", "docker_total_s", "docker_std_s", "knative_total_s", "knative_std_s", "docker_per_task_s", "knative_per_task_s", "n")
 	for _, row := range r.Rows {
-		tbl.AddRow(row.Tasks, row.DockerSecs, row.KnativeSecs, row.DockerPerTk, row.KnativePerTk)
+		tbl.AddRow(row.Tasks, row.DockerSecs, row.DockerStd, row.KnativeSecs, row.KnativeStd, row.DockerPerTk, row.KnativePerTk, row.N)
 	}
 	if err := tbl.Write(w); err != nil {
 		return err

@@ -7,18 +7,24 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/wms"
 	"repro/internal/workload"
 )
 
 // Fig2Row is one x-position of Fig. 2: time to execute `Tasks` parallel
-// matrix multiplications through Pegasus+HTCondor in each environment.
+// matrix multiplications through Pegasus+HTCondor in each environment
+// (mean ± sample stddev over N seeded repetitions).
 type Fig2Row struct {
 	Tasks         int
 	NativeSecs    float64
+	NativeStd     float64
 	KnativeSecs   float64
+	KnativeStd    float64
 	ContainerSecs float64
+	ContainerStd  float64
+	N             int
 }
 
 // Fig2Result is the figure plus the regression slopes the paper reports
@@ -41,19 +47,36 @@ func Fig2(o Options) Fig2Result {
 		sizes = []int{4, 12, 20}
 	}
 	var res Fig2Result
-	for _, n := range sizes {
-		row := Fig2Row{Tasks: n}
-		for r := 0; r < o.Reps; r++ {
-			seed := o.Seed + uint64(r)
-			row.NativeSecs += fig2Run(seed, o, n, wms.ModeNative).Seconds()
-			row.KnativeSecs += fig2Run(seed, o, n, wms.ModeServerless).Seconds()
-			row.ContainerSecs += fig2Run(seed, o, n, wms.ModeContainer).Seconds()
+	// One pool unit per (size, rep); the three modes stay inside one unit
+	// so each unit is a chunky, fully independent simulation triple.
+	type fig2Rep struct{ native, knative, container float64 }
+	runs := parallel.Run(len(sizes)*o.Reps, o.Workers, func(i int) fig2Rep {
+		n := sizes[i/o.Reps]
+		seed := o.Seed + uint64(i%o.Reps)
+		return fig2Rep{
+			native:    fig2Run(seed, o, n, wms.ModeNative).Seconds(),
+			knative:   fig2Run(seed, o, n, wms.ModeServerless).Seconds(),
+			container: fig2Run(seed, o, n, wms.ModeContainer).Seconds(),
 		}
-		reps := float64(o.Reps)
-		row.NativeSecs /= reps
-		row.KnativeSecs /= reps
-		row.ContainerSecs /= reps
-		res.Rows = append(res.Rows, row)
+	})
+	for si, n := range sizes {
+		var nw, kw, cw metrics.Welford
+		for r := 0; r < o.Reps; r++ {
+			rep := runs[si*o.Reps+r]
+			nw.Add(rep.native)
+			kw.Add(rep.knative)
+			cw.Add(rep.container)
+		}
+		res.Rows = append(res.Rows, Fig2Row{
+			Tasks:         n,
+			NativeSecs:    nw.Mean(),
+			NativeStd:     nw.Std(),
+			KnativeSecs:   kw.Mean(),
+			KnativeStd:    kw.Std(),
+			ContainerSecs: cw.Mean(),
+			ContainerStd:  cw.Std(),
+			N:             nw.N(),
+		})
 	}
 	xs := make([]float64, len(res.Rows))
 	ny := make([]float64, len(res.Rows))
@@ -113,9 +136,9 @@ func fig2Run(seed uint64, o Options, n int, mode wms.Mode) time.Duration {
 
 // WriteTable renders the figure's series and slopes.
 func (r Fig2Result) WriteTable(w io.Writer) error {
-	tbl := metrics.NewTable("tasks", "native_s", "knative_s", "container_s")
+	tbl := metrics.NewTable("tasks", "native_s", "native_std_s", "knative_s", "knative_std_s", "container_s", "container_std_s", "n")
 	for _, row := range r.Rows {
-		tbl.AddRow(row.Tasks, row.NativeSecs, row.KnativeSecs, row.ContainerSecs)
+		tbl.AddRow(row.Tasks, row.NativeSecs, row.NativeStd, row.KnativeSecs, row.KnativeStd, row.ContainerSecs, row.ContainerStd, row.N)
 	}
 	if err := tbl.Write(w); err != nil {
 		return err

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/wms"
 	"repro/internal/workload"
@@ -24,10 +25,13 @@ func (m Mix) String() string {
 }
 
 // MixResult is the paper's metric for one mix: the average (over seeds) of
-// the slowest makespan among the concurrent workflows (§V-D).
+// the slowest makespan among the concurrent workflows (§V-D), with the
+// sample stddev and repetition count alongside.
 type MixResult struct {
 	Mix          Mix
 	MakespanSecs float64
+	StdSecs      float64
+	N            int
 }
 
 // Fig5Result holds the ternary sweep of Fig. 5.
@@ -53,56 +57,76 @@ type Fig6Scenario struct {
 // environments by the mix weights — and returns the average slowest
 // makespan over o.Reps seeds.
 func RunMix(o Options, mix Mix) MixResult {
+	runs := parallel.RunSeeded(o.Reps, o.Workers, o.Seed, func(rep int, seed uint64) float64 {
+		return runMixOnce(seed, o, mix)
+	})
+	var w metrics.Welford
+	for _, secs := range runs {
+		w.Add(secs)
+	}
+	return MixResult{Mix: mix, MakespanSecs: w.Mean(), StdSecs: w.Std(), N: w.N()}
+}
+
+// runMixOnce executes one seeded run of the §V-C workload under the mix and
+// returns the slowest concurrent workflow's makespan in seconds.
+func runMixOnce(seed uint64, o Options, mix Mix) float64 {
 	workflows := o.Prm.WorkflowsPerRun
 	tasks := o.Prm.TasksPerWorkflow
 	if o.Quick {
 		workflows, tasks = 4, 4
 	}
-	var sum float64
-	for r := 0; r < o.Reps; r++ {
-		seed := o.Seed + uint64(r)
-		s := core.NewStack(seed, o.Prm)
-		s.RegisterTransformation(workload.MatmulTransformation, o.Prm.ImageLayersBytes[len(o.Prm.ImageLayersBytes)-1])
-		var slowest time.Duration
-		s.Env.Go("main", func(p *sim.Proc) {
-			if mix.Serverless > 0 {
-				if err := s.DeployFunction(p, workload.MatmulTransformation, core.ReusePolicy()); err != nil {
-					panic(err)
-				}
-			}
-			wfs := workload.ConcurrentChains(workflows, tasks, o.Prm.MatrixBytes)
-			assign := wms.AssignFractions(s.Env.Rand().Fork(), mix.Native, mix.Container, mix.Serverless)
-			res, err := s.RunConcurrentWorkflows(p, wfs, assign)
-			if err != nil {
+	s := core.NewStack(seed, o.Prm)
+	s.RegisterTransformation(workload.MatmulTransformation, o.Prm.ImageLayersBytes[len(o.Prm.ImageLayersBytes)-1])
+	var slowest time.Duration
+	s.Env.Go("main", func(p *sim.Proc) {
+		if mix.Serverless > 0 {
+			if err := s.DeployFunction(p, workload.MatmulTransformation, core.ReusePolicy()); err != nil {
 				panic(err)
 			}
-			slowest = res.SlowestMakespan()
-			s.Shutdown()
-		})
-		s.Env.Run()
-		sum += slowest.Seconds()
-	}
-	return MixResult{Mix: mix, MakespanSecs: sum / float64(o.Reps)}
+		}
+		wfs := workload.ConcurrentChains(workflows, tasks, o.Prm.MatrixBytes)
+		assign := wms.AssignFractions(s.Env.Rand().Fork(), mix.Native, mix.Container, mix.Serverless)
+		res, err := s.RunConcurrentWorkflows(p, wfs, assign)
+		if err != nil {
+			panic(err)
+		}
+		slowest = res.SlowestMakespan()
+		s.Shutdown()
+	})
+	s.Env.Run()
+	return slowest.Seconds()
 }
 
 // Fig5 sweeps the mix simplex on a grid (step 0.25 full-size, 0.5 quick)
-// — the data behind the ternary plot.
+// — the data behind the ternary plot. The whole (mix, rep) grid fans out
+// across the pool at once, so the sweep scales with cores rather than being
+// limited to the per-mix repetition count.
 func Fig5(o Options) Fig5Result {
 	step := 0.25
 	if o.Quick {
 		step = 0.5
 	}
-	var res Fig5Result
+	var mixes []Mix
 	n := int(1.0/step + 0.5)
 	for i := 0; i <= n; i++ {
 		for j := 0; i+j <= n; j++ {
-			mix := Mix{
+			mixes = append(mixes, Mix{
 				Native:     float64(i) * step,
 				Container:  float64(j) * step,
 				Serverless: float64(n-i-j) * step,
-			}
-			res.Points = append(res.Points, RunMix(o, mix))
+			})
 		}
+	}
+	runs := parallel.Run(len(mixes)*o.Reps, o.Workers, func(i int) float64 {
+		return runMixOnce(o.Seed+uint64(i%o.Reps), o, mixes[i/o.Reps])
+	})
+	var res Fig5Result
+	for mi, mix := range mixes {
+		var w metrics.Welford
+		for r := 0; r < o.Reps; r++ {
+			w.Add(runs[mi*o.Reps+r])
+		}
+		res.Points = append(res.Points, MixResult{Mix: mix, MakespanSecs: w.Mean(), StdSecs: w.Std(), N: w.N()})
 	}
 	return res
 }
@@ -135,18 +159,18 @@ func Fig6(o Options) Fig6Result {
 
 // WriteTable renders the ternary sweep.
 func (r Fig5Result) WriteTable(w io.Writer) error {
-	tbl := metrics.NewTable("native", "container", "serverless", "slowest_makespan_s")
+	tbl := metrics.NewTable("native", "container", "serverless", "slowest_makespan_s", "std_s", "n")
 	for _, pt := range r.Points {
-		tbl.AddRow(pt.Mix.Native, pt.Mix.Container, pt.Mix.Serverless, pt.MakespanSecs)
+		tbl.AddRow(pt.Mix.Native, pt.Mix.Container, pt.Mix.Serverless, pt.MakespanSecs, pt.StdSecs, pt.N)
 	}
 	return tbl.Write(w)
 }
 
 // WriteTable renders the five bars with the paper's reference points.
 func (r Fig6Result) WriteTable(w io.Writer) error {
-	tbl := metrics.NewTable("scenario", "mix(n/c/s)", "slowest_makespan_s", "vs_native")
+	tbl := metrics.NewTable("scenario", "mix(n/c/s)", "slowest_makespan_s", "std_s", "n", "vs_native")
 	for _, s := range r.Scenarios {
-		tbl.AddRow(s.Label, s.Mix.String(), s.MakespanSecs, s.VsNative)
+		tbl.AddRow(s.Label, s.Mix.String(), s.MakespanSecs, s.StdSecs, s.N, s.VsNative)
 	}
 	if err := tbl.Write(w); err != nil {
 		return err

@@ -6,21 +6,26 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/wms"
 	"repro/internal/workload"
 )
 
-// IsolationRow quantifies one execution mode's performance isolation.
+// IsolationRow quantifies one execution mode's performance isolation
+// (means ± sample stddev over N seeded repetitions).
 type IsolationRow struct {
 	Mode wms.Mode
 	// QuietExecSecs is the mean task execution time on an idle cluster.
 	QuietExecSecs float64
+	QuietStd      float64
 	// ContendedExecSecs is the same under a noisy co-tenant saturating
 	// every worker.
 	ContendedExecSecs float64
+	ContendedStd      float64
 	// Slowdown = contended / quiet — 1.0 is perfect isolation.
 	Slowdown float64
+	N        int
 }
 
 // IsolationResult quantifies the isolation axis of the paper's Fig. 5
@@ -40,17 +45,30 @@ func Isolation(o Options) IsolationResult {
 	if o.Quick {
 		tasks = 3
 	}
-	var res IsolationResult
-	for _, mode := range []wms.Mode{wms.ModeNative, wms.ModeContainer, wms.ModeServerless} {
-		row := IsolationRow{Mode: mode}
-		for r := 0; r < o.Reps; r++ {
-			seed := o.Seed + uint64(r)
-			row.QuietExecSecs += isolationRun(seed, o, mode, tasks, false)
-			row.ContendedExecSecs += isolationRun(seed, o, mode, tasks, true)
+	modes := []wms.Mode{wms.ModeNative, wms.ModeContainer, wms.ModeServerless}
+	type isoRep struct{ quiet, contended float64 }
+	runs := parallel.Run(len(modes)*o.Reps, o.Workers, func(i int) isoRep {
+		mode := modes[i/o.Reps]
+		seed := o.Seed + uint64(i%o.Reps)
+		return isoRep{
+			quiet:     isolationRun(seed, o, mode, tasks, false),
+			contended: isolationRun(seed, o, mode, tasks, true),
 		}
-		reps := float64(o.Reps)
-		row.QuietExecSecs /= reps
-		row.ContendedExecSecs /= reps
+	})
+	var res IsolationResult
+	for mi, mode := range modes {
+		row := IsolationRow{Mode: mode}
+		var qw, cw metrics.Welford
+		for r := 0; r < o.Reps; r++ {
+			rep := runs[mi*o.Reps+r]
+			qw.Add(rep.quiet)
+			cw.Add(rep.contended)
+		}
+		row.QuietExecSecs = qw.Mean()
+		row.QuietStd = qw.Std()
+		row.ContendedExecSecs = cw.Mean()
+		row.ContendedStd = cw.Std()
+		row.N = qw.N()
 		if row.QuietExecSecs > 0 {
 			row.Slowdown = row.ContendedExecSecs / row.QuietExecSecs
 		}
@@ -88,11 +106,16 @@ func isolationRun(seed uint64, o Options, mode wms.Mode, tasks int, contended bo
 		if err != nil {
 			panic(err)
 		}
+		// Sum in workflow task order: result.Tasks is a map, and ranging
+		// over it directly makes the float accumulation order — and hence
+		// the last ulps of the mean — vary run to run.
+		ids := wf.TaskIDs()
 		var sum float64
-		for _, t := range result.Tasks {
+		for _, id := range ids {
+			t := result.Tasks[id]
 			sum += (t.FinishedAt - t.StartedAt).Seconds()
 		}
-		mean = sum / float64(len(result.Tasks))
+		mean = sum / float64(len(ids))
 	})
 	// The co-tenant never finishes; bound the run generously.
 	s.Env.RunUntil(4 * 3600 * 1e9)
@@ -111,9 +134,9 @@ func heavyChain(name string, tasks int, matrixBytes int64) *wms.Workflow {
 
 // WriteTable renders the isolation comparison.
 func (r IsolationResult) WriteTable(w io.Writer) error {
-	tbl := metrics.NewTable("mode", "quiet_exec_s", "contended_exec_s", "slowdown")
+	tbl := metrics.NewTable("mode", "quiet_exec_s", "quiet_std_s", "contended_exec_s", "contended_std_s", "slowdown", "n")
 	for _, row := range r.Rows {
-		tbl.AddRow(row.Mode.String(), row.QuietExecSecs, row.ContendedExecSecs, row.Slowdown)
+		tbl.AddRow(row.Mode.String(), row.QuietExecSecs, row.QuietStd, row.ContendedExecSecs, row.ContendedStd, row.Slowdown, row.N)
 	}
 	if err := tbl.Write(w); err != nil {
 		return err

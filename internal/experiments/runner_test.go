@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+)
+
+// TestWorkerCountInvariance is the parallel runner's acceptance gate: every
+// experiment must produce byte-identical result structs at Workers=1 (the
+// old sequential loops) and Workers=8. Each case returns a plain result
+// struct; reflect.DeepEqual over float64 fields is exact equality, so any
+// scheduling-dependent accumulation order would fail here.
+func TestWorkerCountInvariance(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(o Options) any
+	}{
+		{"Fig1", func(o Options) any { return Fig1(o) }},
+		{"Fig2", func(o Options) any { return Fig2(o) }},
+		{"Fig5", func(o Options) any { return Fig5(o) }},
+		{"Fig6", func(o Options) any { return Fig6(o) }},
+		{"RunMix", func(o Options) any {
+			return RunMix(o, Mix{Native: 0.5, Serverless: 0.5})
+		}},
+		{"ColdStart", func(o Options) any { return ColdStart(o) }},
+		{"Chaos", func(o Options) any { return Chaos(o) }},
+		{"DataMovement", func(o Options) any { return DataMovement(o) }},
+		{"Resizing", func(o Options) any { return Resizing(o) }},
+		{"Montage", func(o Options) any { return Montage(o) }},
+		{"Clustering", func(o Options) any { return Clustering(o) }},
+		{"Redirection", func(o Options) any { return Redirection(o) }},
+		{"Isolation", func(o Options) any { return Isolation(o) }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			seq := QuickOptions()
+			seq.Workers = 1
+			par := QuickOptions()
+			par.Workers = 8
+			a, b := c.run(seq), c.run(par)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("workers=1 and workers=8 differ:\n  seq: %+v\n  par: %+v", a, b)
+			}
+		})
+	}
+}
+
+// TestWorkerCountInvarianceTrace covers the trace experiment separately:
+// TraceCapture holds pointers (tracer, analysis), so equality is asserted on
+// the exported Chrome trace bytes and the critical-path reconciliation.
+func TestWorkerCountInvarianceTrace(t *testing.T) {
+	seq := QuickOptions()
+	seq.Workers = 1
+	par := QuickOptions()
+	par.Workers = 8
+	a, b := Trace(seq), Trace(par)
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("row count differs: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		ra, rb := a.Rows[i], b.Rows[i]
+		if ra.Mode != rb.Mode {
+			t.Fatalf("row %d mode order differs: %v vs %v", i, ra.Mode, rb.Mode)
+		}
+		if !bytes.Equal(ra.Tracer.ChromeBytes(), rb.Tracer.ChromeBytes()) {
+			t.Errorf("mode %v: chrome trace differs between worker counts", ra.Mode)
+		}
+		if ra.Path.Makespan != rb.Path.Makespan || ra.Path.StageSum() != rb.Path.StageSum() {
+			t.Errorf("mode %v: critical path differs between worker counts", ra.Mode)
+		}
+	}
+}
+
+// TestWorkersZeroDefaults asserts Options.Workers=0 (the default) runs the
+// pool at GOMAXPROCS and still matches the sequential result.
+func TestWorkersZeroDefaults(t *testing.T) {
+	def := QuickOptions() // Workers zero value
+	seq := QuickOptions()
+	seq.Workers = 1
+	if a, b := ColdStart(def), ColdStart(seq); !reflect.DeepEqual(a, b) {
+		t.Errorf("default workers differ from sequential:\n  def: %+v\n  seq: %+v", a, b)
+	}
+}
+
+// TestConcurrentEnvsIndependent is the -race regression for the cross-Env
+// sharing audit: two full stacks (faults, tracing hooks, retries — the
+// chaos path touches every substrate) run concurrently on separate
+// goroutines, and each must produce exactly the run it produces alone. Any
+// accidental shared mutable state between Envs shows up either as a race
+// report under -race or as a result divergence here.
+func TestConcurrentEnvsIndependent(t *testing.T) {
+	prm := config.Default()
+	prm.TaskRetry.MaxAttempts = 2
+	want1 := ChaosOnce(1, prm, 0.3, true, true)
+	want2 := ChaosOnce(2, prm, 0.3, true, true)
+
+	type out struct{ run ChaosRun }
+	ch1 := make(chan out)
+	ch2 := make(chan out)
+	go func() { ch1 <- out{ChaosOnce(1, prm, 0.3, true, true)} }()
+	go func() { ch2 <- out{ChaosOnce(2, prm, 0.3, true, true)} }()
+	got1, got2 := <-ch1, <-ch2
+
+	if !reflect.DeepEqual(got1.run, want1) {
+		t.Errorf("concurrent run (seed 1) differs from isolated run:\n  got:  %+v\n  want: %+v", got1.run, want1)
+	}
+	if !reflect.DeepEqual(got2.run, want2) {
+		t.Errorf("concurrent run (seed 2) differs from isolated run:\n  got:  %+v\n  want: %+v", got2.run, want2)
+	}
+}

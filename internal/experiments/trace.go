@@ -9,6 +9,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/wms"
@@ -90,16 +91,18 @@ type TraceResult struct {
 
 // Trace runs Montage once per execution mode (single run at the base seed —
 // the point is one trace, not an average) and analyzes each critical path.
+// The three modes are independent simulations, so they run on the pool;
+// rows keep the fixed mode order regardless of which finishes first.
 func Trace(o Options) TraceResult {
-	var res TraceResult
-	for _, mode := range []wms.Mode{wms.ModeNative, wms.ModeContainer, wms.ModeServerless} {
-		tc, err := TraceOnce(o.Seed, o.Prm, mode, o.Quick, false)
+	modes := []wms.Mode{wms.ModeNative, wms.ModeContainer, wms.ModeServerless}
+	rows := parallel.Run(len(modes), o.Workers, func(i int) *TraceCapture {
+		tc, err := TraceOnce(o.Seed, o.Prm, modes[i], o.Quick, false)
 		if err != nil {
 			panic(err)
 		}
-		res.Rows = append(res.Rows, tc)
-	}
-	return res
+		return tc
+	})
+	return TraceResult{Rows: rows}
 }
 
 // WriteTable renders each mode's critical-path decomposition, the path step

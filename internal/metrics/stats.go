@@ -50,6 +50,46 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
+// Welford is a streaming mean/variance accumulator (Welford's online
+// algorithm). It is the one audited aggregation path for the experiment
+// harness: every per-repetition metric is folded through a Welford in
+// repetition order, so a parallelised rep loop reports bit-identical
+// statistics to the old sequential sum/=N arithmetic regardless of worker
+// scheduling, and the zero value is safe (N 0, Mean 0, Std 0 — no division
+// by a zero rep count anywhere downstream).
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations folded in.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean, or 0 before any observation.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the sample variance (n-1 denominator), or 0 for fewer than
+// two observations.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation, or 0 for fewer than two
+// observations.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
 // Mean returns the arithmetic mean, or 0 for an empty sample.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

@@ -109,6 +109,66 @@ func TestPropertyMeanWithinBounds(t *testing.T) {
 	}
 }
 
+func TestWelfordKnownValues(t *testing.T) {
+	cases := []struct {
+		name     string
+		xs       []float64
+		mean, sd float64
+	}{
+		{"empty", nil, 0, 0},
+		{"single", []float64{7.5}, 7.5, 0},
+		{"pair", []float64{2, 4}, 3, math.Sqrt(2)},
+		{"one-to-five", []float64{1, 2, 3, 4, 5}, 3, math.Sqrt(2.5)},
+		{"constant", []float64{4.2, 4.2, 4.2, 4.2}, 4.2, 0},
+		{"negative", []float64{-3, -1, 1, 3}, 0, math.Sqrt(20.0 / 3)},
+		// Catastrophic-cancellation probe: the naive sum-of-squares
+		// formula loses the variance of a tight sample around a large
+		// offset; Welford's recurrence does not.
+		{"large-offset", []float64{1e9 + 1, 1e9 + 2, 1e9 + 3}, 1e9 + 2, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var w Welford
+			for _, x := range c.xs {
+				w.Add(x)
+			}
+			if w.N() != len(c.xs) {
+				t.Errorf("N = %d, want %d", w.N(), len(c.xs))
+			}
+			if math.Abs(w.Mean()-c.mean) > 1e-9*math.Max(1, math.Abs(c.mean)) {
+				t.Errorf("Mean = %v, want %v", w.Mean(), c.mean)
+			}
+			if math.Abs(w.Std()-c.sd) > 1e-9 {
+				t.Errorf("Std = %v, want %v", w.Std(), c.sd)
+			}
+		})
+	}
+}
+
+// Property: Welford agrees with the two-pass Summarize on any finite sample.
+func TestPropertyWelfordMatchesSummarize(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		var w Welford
+		for _, x := range xs {
+			w.Add(x)
+		}
+		s := Summarize(xs)
+		scale := math.Max(1, math.Abs(s.Mean))
+		return w.N() == s.N &&
+			math.Abs(w.Mean()-s.Mean) < 1e-6*scale &&
+			math.Abs(w.Std()-s.Std) < 1e-6*math.Max(1, s.Std)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestTableWrite(t *testing.T) {
 	tbl := NewTable("tasks", "docker_s", "knative_s")
 	tbl.AddRow(20, 12.5, 9.75)
