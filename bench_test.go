@@ -436,6 +436,21 @@ func BenchmarkExtMontage(b *testing.B) {
 	}
 }
 
+// BenchmarkExtPlacement runs the internal/sched policy sweep and reports
+// registry egress per kube policy.
+func BenchmarkExtPlacement(b *testing.B) {
+	o := quickOpts()
+	var res experiments.PlacementResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.Placement(o)
+	}
+	for _, row := range res.Rows {
+		if row.Mode == wms.ModeServerless {
+			b.ReportMetric(row.PulledMB, row.Policy+"_pulled_MB")
+		}
+	}
+}
+
 // BenchmarkExtIsolation quantifies the Fig. 5 isolation axis under a noisy
 // co-tenant.
 func BenchmarkExtIsolation(b *testing.B) {

@@ -34,7 +34,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel replication workers (0 = GOMAXPROCS, 1 = sequential)")
 	traceOut := flag.String("trace-out", "", "with the trace experiment: write Chrome trace_event JSON to <prefix>-<mode>.json")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: repro [flags] {fig1|fig2|fig5|fig6|coldstart|config|all|datamove|resize|redirect|clustering|montage|isolation|chaos|trace|ext}\n")
+		fmt.Fprintf(os.Stderr, "usage: repro [flags] {fig1|fig2|fig5|fig6|coldstart|config|all|datamove|resize|redirect|clustering|montage|isolation|placement|chaos|trace|ext}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -81,6 +81,8 @@ func main() {
 			return writeResult(w, experiments.Montage(o))
 		case "isolation":
 			return writeResult(w, experiments.Isolation(o))
+		case "placement":
+			return writeResult(w, experiments.Placement(o))
 		case "chaos":
 			return writeResult(w, experiments.Chaos(o))
 		case "trace":
@@ -108,7 +110,7 @@ func main() {
 	case "all":
 		names = []string{"config", "coldstart", "fig1", "fig2", "fig5", "fig6"}
 	case "ext":
-		names = []string{"datamove", "resize", "redirect", "clustering", "montage", "isolation", "chaos"}
+		names = []string{"datamove", "resize", "redirect", "clustering", "montage", "isolation", "placement", "chaos"}
 	default:
 		names = []string{target}
 	}

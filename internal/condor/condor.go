@@ -18,6 +18,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/config"
 	"repro/internal/faults"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -78,6 +79,9 @@ type Job struct {
 	TransferInputBytes int64
 	// TransferOutputBytes is shipped worker → submit afterwards.
 	TransferOutputBytes int64
+	// InputLFNs are the job's logical input file names, consumed by the
+	// data-locality placement policy (scratch residency scoring).
+	InputLFNs []string
 	// Run is the payload.
 	Run JobFunc
 
@@ -137,6 +141,7 @@ type Schedd struct {
 	idle     []*Job // cycle mode: jobs awaiting the next cycle
 	blocked  []*Job // per-job mode: matched but no slot free yet
 	startds  []*startd
+	policy   sched.Policy
 	rrOffset int // rotates tie-breaking among equally free startds
 	nextID   int
 	shadow   *sim.Semaphore // serializes shadow spawns at the schedd
@@ -160,7 +165,42 @@ func New(env *sim.Env, cl *cluster.Cluster, prm config.Params) *Schedd {
 	for _, w := range cl.Workers {
 		s.startds = append(s.startds, &startd{node: w, slots: w.Cores, free: w.Cores, claimed: make([]bool, w.Cores)})
 	}
+	s.policy = s.policyFor(prm.CondorPlacementPolicy)
 	return s
+}
+
+// policyFor builds the named matchmaking policy. The empty name selects the
+// seed negotiator's behaviour: most free slots, ties rotated round-robin so
+// no machine is permanently favoured.
+func (s *Schedd) policyFor(name string) sched.Policy {
+	filters := []sched.Filter{
+		sched.FilterFunc("online", func(_ sched.Request, c sched.Candidate) bool {
+			return !c.Aux.(*startd).offline
+		}),
+		sched.SlotFree(),
+		sched.Requirements(),
+	}
+	var scores []sched.Score
+	switch name {
+	case "", sched.PolicyMostFreeRR:
+		name = sched.PolicyMostFreeRR
+		scores = []sched.Score{sched.MostFree()}
+	case sched.PolicyDataLocality:
+		// Input-file residency dominates; most-free breaks ties among nodes
+		// holding the same fraction of the job's inputs.
+		dl := sched.DataLocality(func(n *cluster.Node, lfn string) bool {
+			return n.Scratch.Has(lfn)
+		})
+		dl.Weight = 1000
+		scores = []sched.Score{dl, sched.MostFree()}
+	default:
+		panic(fmt.Sprintf("condor: unknown placement policy %q", name))
+	}
+	pol := sched.Policy{Name: name, Filters: filters, Scores: scores}
+	if err := pol.Validate(); err != nil {
+		panic(err)
+	}
+	return pol
 }
 
 // Start launches the negotiator (cycle mode only; per-job mode matches from
@@ -274,24 +314,53 @@ func (s *Schedd) SubmitPriority(name string, priority int, inBytes, outBytes int
 // SubmitConstrained queues a job with a priority and a requirements
 // expression the matched node must satisfy (condor's Requirements ClassAd).
 func (s *Schedd) SubmitConstrained(name string, priority int, requires func(*cluster.Node) bool, inBytes, outBytes int64, fn JobFunc) *Job {
-	if !s.started {
-		panic("condor: Submit before Start")
-	}
-	j := &Job{
-		ID:                  s.nextID,
+	return s.SubmitJob(JobSpec{
 		Name:                name,
 		Priority:            priority,
 		Requires:            requires,
 		TransferInputBytes:  inBytes,
 		TransferOutputBytes: outBytes,
 		Run:                 fn,
+	})
+}
+
+// JobSpec describes a job to queue (the full submit-file surface; the
+// Submit* helpers cover the common subsets).
+type JobSpec struct {
+	Name     string
+	Priority int
+	Requires func(*cluster.Node) bool
+	// TransferInputBytes/TransferOutputBytes size the sandbox transfers.
+	TransferInputBytes  int64
+	TransferOutputBytes int64
+	// InputLFNs are the job's logical input files, consumed by the
+	// data-locality placement policy.
+	InputLFNs []string
+	Run       JobFunc
+}
+
+// SubmitJob queues a job described by spec. It never blocks; wait for
+// completion with Wait.
+func (s *Schedd) SubmitJob(spec JobSpec) *Job {
+	if !s.started {
+		panic("condor: Submit before Start")
+	}
+	j := &Job{
+		ID:                  s.nextID,
+		Name:                spec.Name,
+		Priority:            spec.Priority,
+		Requires:            spec.Requires,
+		TransferInputBytes:  spec.TransferInputBytes,
+		TransferOutputBytes: spec.TransferOutputBytes,
+		InputLFNs:           spec.InputLFNs,
+		Run:                 spec.Run,
 		done:                sim.NewFuture[error](s.env),
 		SubmittedAt:         s.env.Now(),
 	}
 	s.nextID++
 	tr := trace.FromEnv(s.env)
-	j.span = tr.StartCurrent("condor", "job", trace.L("job", name))
-	j.queue = tr.Start(j.span, "condor", "queue", trace.L("job", name))
+	j.span = tr.StartCurrent("condor", "job", trace.L("job", j.Name))
+	j.queue = tr.Start(j.span, "condor", "queue", trace.L("job", j.Name))
 	if s.prm.PerJobNegotiation {
 		// The schedd's reschedule request triggers a negotiation for this
 		// job after the (jittered) negotiation latency.
@@ -309,12 +378,12 @@ func (s *Schedd) tryMatch(j *Job) {
 	if s.stopped {
 		return
 	}
-	sd := s.pickStartdFor(j)
+	sd, dec := s.pickStartdFor(j)
 	if sd == nil {
 		s.blocked = insertByPriority(s.blocked, j)
 		return
 	}
-	s.dispatch(j, sd)
+	s.dispatch(j, sd, dec)
 }
 
 // insertByPriority keeps the queue ordered by descending priority,
@@ -332,8 +401,9 @@ func insertByPriority(q []*Job, j *Job) []*Job {
 
 // dispatch claims the slot and launches the job's runner process. The
 // startd's epoch is captured at claim time so a crash during execution is
-// detectable.
-func (s *Schedd) dispatch(j *Job, sd *startd) {
+// detectable. dec is the placement decision that chose sd, recorded as a
+// span under the job.
+func (s *Schedd) dispatch(j *Job, sd *startd, dec sched.Decision) {
 	sd.free--
 	j.slot = 0
 	for i, taken := range sd.claimed {
@@ -353,6 +423,7 @@ func (s *Schedd) dispatch(j *Job, sd *startd) {
 	j.span.SetLabel("slot", slot)
 	j.claim = trace.FromEnv(s.env).Start(j.span, "condor", "claim",
 		trace.L("job", j.Name), trace.L("node", j.node), trace.L("slot", slot))
+	sched.Record(trace.FromEnv(s.env), j.span, "condor", s.policy, jobRequest(j), dec)
 	epoch := sd.epoch
 	s.env.Go(fmt.Sprintf("job-%d", j.ID), func(jp *sim.Proc) {
 		s.runJob(jp, j, sd, epoch)
@@ -366,9 +437,9 @@ func (s *Schedd) dispatchBlocked(max int) {
 	for n := 0; n < max; n++ {
 		matched := false
 		for i, next := range s.blocked {
-			if nsd := s.pickStartdFor(next); nsd != nil {
+			if nsd, dec := s.pickStartdFor(next); nsd != nil {
 				s.blocked = append(s.blocked[:i], s.blocked[i+1:]...)
-				s.dispatch(next, nsd)
+				s.dispatch(next, nsd, dec)
 				matched = true
 				break
 			}
@@ -402,45 +473,36 @@ func (s *Schedd) negotiatorLoop(p *sim.Proc) {
 func (s *Schedd) matchmake() {
 	remaining := s.idle[:0]
 	for _, j := range s.idle {
-		sd := s.pickStartdFor(j)
+		sd, dec := s.pickStartdFor(j)
 		if sd == nil {
 			remaining = append(remaining, j)
 			continue
 		}
-		s.dispatch(j, sd)
+		s.dispatch(j, sd, dec)
 	}
 	s.idle = remaining
 }
 
-// pickStartd returns the startd with the most free slots; ties rotate
-// round-robin, as a real negotiator does not pin an idle pool's matches to
-// one machine.
-func (s *Schedd) pickStartd() *startd {
-	return s.pickStartdMatching(nil)
+// jobRequest maps a job onto the placement layer's request model.
+func jobRequest(j *Job) sched.Request {
+	return sched.Request{Name: j.Name, Inputs: j.InputLFNs, Requires: j.Requires}
 }
 
-// pickStartdFor applies the job's requirements expression.
-func (s *Schedd) pickStartdFor(j *Job) *startd {
-	return s.pickStartdMatching(j.Requires)
-}
-
-func (s *Schedd) pickStartdMatching(requires func(*cluster.Node) bool) *startd {
-	var best *startd
+// pickStartdFor runs the configured placement policy over the pool for one
+// job. The rotation offset advances on every negotiation attempt — matched
+// or not — exactly as the seed matchmaker did, so the round-robin stream is
+// unchanged.
+func (s *Schedd) pickStartdFor(j *Job) (*startd, sched.Decision) {
 	s.rrOffset++
-	n := len(s.startds)
-	for i := 0; i < n; i++ {
-		sd := s.startds[(i+s.rrOffset)%n]
-		if sd.offline || sd.free <= 0 {
-			continue
-		}
-		if requires != nil && !requires(sd.node) {
-			continue
-		}
-		if best == nil || sd.free > best.free {
-			best = sd
-		}
+	cands := make([]sched.Candidate, len(s.startds))
+	for i, sd := range s.startds {
+		cands[i] = sched.Candidate{Name: sd.node.Name, Node: sd.node, Free: sd.free, Aux: sd}
 	}
-	return best
+	d := s.policy.Pick(jobRequest(j), cands, s.rrOffset)
+	if d.Winner == nil {
+		return nil, d
+	}
+	return d.Winner.Aux.(*startd), d
 }
 
 // injectFailure decides whether this job suffers a transient injected

@@ -188,6 +188,23 @@ type Params struct {
 	// failures.
 	InvokeRetry RetryPolicy
 
+	// ---- Placement (internal/sched policy selection) ----
+
+	// KubePlacementPolicy names the kube scheduler's placement policy:
+	// "least-requested" (default when empty; the seed scheduler),
+	// "bin-pack", "spread", or "image-locality".
+	KubePlacementPolicy string
+	// CondorPlacementPolicy names the condor negotiator's placement
+	// policy: "most-free-rr" (default when empty; the seed matchmaker's
+	// most-free-slots with round-robin rotation) or "data-locality".
+	CondorPlacementPolicy string
+	// ScratchCache keeps shared-filesystem staging products cached in each
+	// node's scratch space: stage-out also writes the local scratch copy,
+	// and stage-in reads locally when the file is already resident. It
+	// feeds the data-locality placement score. Default off — the seed
+	// staging model always goes to the shared filesystem.
+	ScratchCache bool
+
 	// ---- Experiment-level ----
 
 	// WorkflowsPerRun: 10 concurrent workflows (§V-C).

@@ -33,6 +33,7 @@ func TestWorkerCountInvariance(t *testing.T) {
 		{"Clustering", func(o Options) any { return Clustering(o) }},
 		{"Redirection", func(o Options) any { return Redirection(o) }},
 		{"Isolation", func(o Options) any { return Isolation(o) }},
+		{"Placement", func(o Options) any { return Placement(o) }},
 	}
 	for _, c := range cases {
 		c := c

@@ -22,6 +22,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/faults"
 	"repro/internal/kube"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -147,7 +148,8 @@ type Service struct {
 
 	pods     []*podHandle
 	nextPod  int
-	rr       int // round-robin offset for tie-breaking
+	route    sched.Policy // replica-routing policy built from spec.Routing
+	rr       int          // round-robin offset for tie-breaking
 	inFlight int
 	samples  []sample
 	panicEnd time.Duration
@@ -188,6 +190,7 @@ func (kn *Knative) Deploy(p *sim.Proc, spec ServiceSpec) (*Service, error) {
 		spec.Target = kn.prm.DefaultTarget
 	}
 	svc := &Service{kn: kn, spec: spec, readySig: sim.NewSignal(kn.env)}
+	svc.route = svc.routePolicy()
 	kn.services = append(kn.services, svc)
 	kn.byName[spec.Name] = svc
 
@@ -488,43 +491,68 @@ func (kn *Knative) codecTime(bytes int64) time.Duration {
 	return time.Duration(float64(bytes) / kn.prm.PayloadCodecBps * float64(time.Second))
 }
 
+// routePolicy maps the service's RoutePolicy onto the placement layer: one
+// readiness/capacity filter plus the policy's score. Both scores encode
+// "lowest wins" by negation, and the rotating rr offset breaks ties
+// round-robin, as the knative ingress balances equal backends.
+func (s *Service) routePolicy() sched.Policy {
+	filters := []sched.Filter{
+		sched.FilterFunc("ready-capacity", func(_ sched.Request, c sched.Candidate) bool {
+			h := c.Aux.(*podHandle)
+			return h.ready() && h.gate.Available() > 0
+		}),
+	}
+	var score sched.Score
+	name := "least-requests"
+	switch s.spec.Routing {
+	case RouteLeastNodeLoad:
+		// Redirect away from busy nodes (§IX-D): node CPU queue length
+		// first, replica queue as tie-break.
+		name = "least-node-load"
+		score = sched.ScoreFunc(name, 1, func(_ sched.Request, c sched.Candidate) float64 {
+			h := c.Aux.(*podHandle)
+			node := s.kn.cl.MustNode(h.pod.NodeName)
+			return -(float64(node.CPU.Load())*1e6 + float64(h.inFlight))
+		})
+	default:
+		score = sched.ScoreFunc(name, 1, func(_ sched.Request, c sched.Candidate) float64 {
+			return -float64(c.Aux.(*podHandle).inFlight)
+		})
+	}
+	pol := sched.Policy{Name: name, Filters: filters, Scores: []sched.Score{score}}
+	if err := pol.Validate(); err != nil {
+		panic(err)
+	}
+	return pol
+}
+
 // pickAvailable chooses a ready replica with free concurrency capacity
-// according to the service's route policy (ties broken round-robin, as the
-// knative ingress balances equal backends) and claims one request slot on
-// it. It returns nil when every ready replica is saturated.
+// according to the service's route policy and claims one request slot on it.
+// It returns nil when every ready replica is saturated.
 func (s *Service) pickAvailable() *podHandle {
-	var best *podHandle
-	var bestScore float64
 	s.rr++
 	n := len(s.pods)
-	for i := 0; i < n; i++ {
-		h := s.pods[(i+s.rr)%n]
-		if !h.ready() || h.gate.Available() == 0 {
-			continue
-		}
-		var score float64
-		switch s.spec.Routing {
-		case RouteLeastNodeLoad:
-			// Redirect away from busy nodes (§IX-D): node CPU queue length
-			// first, replica queue as tie-break.
-			node := s.kn.cl.MustNode(h.pod.NodeName)
-			score = float64(node.CPU.Load())*1e6 + float64(h.inFlight)
-		default:
-			score = float64(h.inFlight)
-		}
-		if best == nil || score < bestScore {
-			best, bestScore = h, score
-		}
-	}
-	if best == nil {
+	if n == 0 {
 		return nil
 	}
-	if !best.gate.TryAcquire(1) {
+	cands := make([]sched.Candidate, n)
+	for i, h := range s.pods {
+		cands[i] = sched.Candidate{Name: h.pod.NodeName, Free: h.gate.Available(), Aux: h}
+	}
+	req := sched.Request{Name: s.spec.Name}
+	d := s.route.Pick(req, cands, s.rr)
+	if d.Winner == nil {
+		return nil
+	}
+	h := d.Winner.Aux.(*podHandle)
+	if !h.gate.TryAcquire(1) {
 		// Cannot happen: availability was checked and nothing parks in
 		// between under the cooperative scheduler.
 		panic("knative: capacity vanished under pickAvailable")
 	}
-	return best
+	tr := trace.FromEnv(s.kn.env)
+	sched.Record(tr, tr.Current(), "knative", s.route, req, d)
+	return h
 }
 
 // purgeDead removes handles whose pods were killed out from under the

@@ -15,6 +15,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/crt"
 	"repro/internal/faults"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -80,6 +81,7 @@ type Pod struct {
 	container *crt.Container
 	readyAt   time.Duration
 	deleted   bool
+	accounted bool // counted in per-node requested-resource accounting
 }
 
 // Phase returns the pod's current phase.
@@ -117,6 +119,18 @@ type Kube struct {
 	cordoned map[string]bool
 	faults   *faults.Injector
 	started  bool
+	stopped  bool
+
+	// Placement: the policy picks among cands (the workers in stable order);
+	// reqCPU/reqMemMB hold per-node requested resources maintained on
+	// bind/unbind (O(1) per decision, replacing the seed's O(nodes×pods)
+	// rescan — requestedScan remains as the test oracle); pending holds pods
+	// that fit no node right now and are re-queued when capacity frees.
+	policy   sched.Policy
+	cands    []sched.Candidate
+	reqCPU   map[string]float64
+	reqMemMB map[string]int
+	pending  []*Pod
 }
 
 // New builds a control plane over the cluster's worker nodes (the submit
@@ -134,11 +148,57 @@ func New(env *sim.Env, cl *cluster.Cluster, runtimes crt.Set, prm config.Params)
 		schedQ:   sim.NewUnbounded[*Pod](env),
 		nodeQ:    make(map[string]*sim.Chan[podOp]),
 		cordoned: make(map[string]bool),
+		reqCPU:   make(map[string]float64),
+		reqMemMB: make(map[string]int),
 	}
 	for _, w := range cl.Workers {
 		k.nodeQ[w.Name] = sim.NewUnbounded[podOp](env)
+		k.cands = append(k.cands, sched.Candidate{Name: w.Name, Node: w})
 	}
+	k.policy = k.policyFor(prm.KubePlacementPolicy)
 	return k
+}
+
+// policyFor builds the named placement policy over this control plane's
+// state. The empty name selects the seed scheduler's behaviour:
+// least-requested CPU with stable node-order tie-breaking.
+func (k *Kube) policyFor(name string) sched.Policy {
+	filters := []sched.Filter{
+		sched.Cordoned(func(n string) bool { return k.cordoned[n] }),
+		sched.MemFit(),
+		sched.CPUFit(k.requestedCPU),
+	}
+	tie := sched.LeastRequested(k.requestedCPU)
+	var scores []sched.Score
+	switch name {
+	case "", sched.PolicyLeastRequested:
+		name = sched.PolicyLeastRequested
+		scores = []sched.Score{tie}
+	case sched.PolicyBinPack:
+		scores = []sched.Score{sched.BinPack(k.requestedCPU)}
+	case sched.PolicySpread:
+		scores = []sched.Score{sched.Spread(k.PodsOnNode)}
+	case sched.PolicyImageLocality:
+		// Image presence dominates. Ties break by bin-packing, not
+		// spreading: a scale-up burst binds its pods before the first pull
+		// completes (no node advertises the image yet), and spreading those
+		// pods would seed pulls everywhere — packing keeps the image, and
+		// every later placement, on as few nodes as the CPU/mem filters
+		// allow.
+		im := sched.ImageLocality(func(node, image string) bool {
+			rt := k.runtimes[node]
+			return rt != nil && rt.HasImage(image)
+		})
+		im.Weight = 1000
+		scores = []sched.Score{im, sched.BinPack(k.requestedCPU)}
+	default:
+		panic(fmt.Sprintf("kube: unknown placement policy %q", name))
+	}
+	pol := sched.Policy{Name: name, Filters: filters, Scores: scores}
+	if err := pol.Validate(); err != nil {
+		panic(err)
+	}
+	return pol
 }
 
 // Runtime exposes a node's container runtime (used to pre-pull images and
@@ -172,6 +232,7 @@ func (k *Kube) Start() {
 // exit once already-queued operations (including pending pod deletions)
 // drain. Call it after deleting all pods to let the simulation finish.
 func (k *Kube) Shutdown() {
+	k.stopped = true
 	k.schedQ.Close()
 	for _, q := range k.nodeQ {
 		q.Close()
@@ -204,6 +265,7 @@ func (k *Kube) DeletePod(name string) {
 	pod.deleted = true
 	pod.ready = false
 	if pod.NodeName != "" {
+		k.unbind(pod)
 		k.nodeQ[pod.NodeName].TrySend(podOp{pod: pod, delete: true})
 	}
 }
@@ -229,8 +291,11 @@ func (k *Kube) AttachFaults(in *faults.Injector) {
 // CordonNode marks a node unschedulable (kubectl cordon).
 func (k *Kube) CordonNode(name string) { k.cordoned[name] = true }
 
-// UncordonNode makes a node schedulable again.
-func (k *Kube) UncordonNode(name string) { delete(k.cordoned, name) }
+// UncordonNode makes a node schedulable again and retries pending pods.
+func (k *Kube) UncordonNode(name string) {
+	delete(k.cordoned, name)
+	k.kickPending()
+}
 
 // DrainNode cordons a node and deletes every pod bound to it (kubectl
 // drain) — maintenance, spot reclamation, or failure. Workload controllers
@@ -267,8 +332,11 @@ func (k *Kube) PodsOnNode(node string) int {
 	return n
 }
 
-// schedulerLoop binds pending pods to the worker with the lowest requested
-// CPU (least-allocated scoring), breaking ties by node order.
+// schedulerLoop binds pending pods to the node chosen by the configured
+// placement policy (default: lowest requested CPU, ties broken by stable
+// node order). A pod that fits no node right now — but could once capacity
+// frees — stays Pending and is retried on pod deletion and uncordon; only a
+// pod that can never fit any node is failed outright.
 func (k *Kube) schedulerLoop(p *sim.Proc) {
 	for {
 		pod, ok := k.schedQ.Recv(p)
@@ -279,46 +347,101 @@ func (k *Kube) schedulerLoop(p *sim.Proc) {
 			continue
 		}
 		p.Sleep(k.prm.SchedulerLatency)
-		node := k.pickNode(pod.Spec)
+		node, dec := k.pickNode(pod.Spec)
 		if node == nil {
-			pod.phase = PhaseFailed
-			pod.readyF.Set(fmt.Errorf("kube: no node fits pod %s", pod.Spec.Name))
+			if !k.fitsEver(pod.Spec) {
+				pod.phase = PhaseFailed
+				pod.readyF.Set(fmt.Errorf("kube: no node fits pod %s", pod.Spec.Name))
+				continue
+			}
+			p.Tracef("pod %s unschedulable, waiting for capacity", pod.Spec.Name)
+			k.pending = append(k.pending, pod)
 			continue
 		}
-		pod.NodeName = node.Name
-		pod.phase = PhaseScheduled
+		k.bind(pod, node.Name)
+		sched.Record(trace.FromEnv(k.env), nil, "kube", k.policy, podRequest(pod.Spec), dec)
 		p.Tracef("bound pod %s to %s", pod.Spec.Name, node.Name)
 		k.nodeQ[node.Name].TrySend(podOp{pod: pod})
 	}
 }
 
-func (k *Kube) pickNode(spec PodSpec) *cluster.Node {
-	var best *cluster.Node
-	bestScore := 0.0
-	for _, w := range k.cl.Workers {
-		if k.cordoned[w.Name] {
-			continue
-		}
-		if w.MemUsedMB()+spec.MemMB > w.MemMB {
-			continue
-		}
-		score := k.requestedCPU(w.Name)
-		if best == nil || score < bestScore {
-			best = w
-			bestScore = score
-		}
-	}
-	return best
+func podRequest(spec PodSpec) sched.Request {
+	return sched.Request{Name: spec.Name, Image: spec.Image, CPURequest: spec.CPURequest, MemMB: spec.MemMB}
 }
 
-func (k *Kube) requestedCPU(node string) float64 {
-	total := 0.0
-	for _, pod := range k.pods {
-		if pod.NodeName == node && pod.phase != PhaseDead && pod.phase != PhaseFailed {
-			total += pod.Spec.CPURequest
+func (k *Kube) pickNode(spec PodSpec) (*cluster.Node, sched.Decision) {
+	d := k.policy.Pick(podRequest(spec), k.cands, 0)
+	if d.Winner == nil {
+		return nil, d
+	}
+	return d.Winner.Node, d
+}
+
+// fitsEver reports whether some worker could take the pod on an otherwise
+// empty cluster (cordons ignored — they lift). False means waiting is
+// pointless: the pod must fail.
+func (k *Kube) fitsEver(spec PodSpec) bool {
+	for _, w := range k.cl.Workers {
+		if spec.MemMB <= w.MemMB && spec.CPURequest <= float64(w.Cores) {
+			return true
 		}
 	}
-	return total
+	return false
+}
+
+// bind assigns the pod to a node and charges its requests to the node's
+// accounting.
+func (k *Kube) bind(pod *Pod, node string) {
+	pod.NodeName = node
+	pod.phase = PhaseScheduled
+	pod.accounted = true
+	k.reqCPU[node] += pod.Spec.CPURequest
+	k.reqMemMB[node] += pod.Spec.MemMB
+}
+
+// unbind releases a bound pod's requested resources (idempotent via the
+// accounted flag — every terminal path calls it) and retries pending pods,
+// since capacity just freed.
+func (k *Kube) unbind(pod *Pod) {
+	if !pod.accounted {
+		return
+	}
+	pod.accounted = false
+	k.reqCPU[pod.NodeName] -= pod.Spec.CPURequest
+	k.reqMemMB[pod.NodeName] -= pod.Spec.MemMB
+	k.kickPending()
+}
+
+// kickPending re-queues pods that previously fit nowhere.
+func (k *Kube) kickPending() {
+	if k.stopped || len(k.pending) == 0 {
+		return
+	}
+	pend := k.pending
+	k.pending = nil
+	for _, pod := range pend {
+		if pod.deleted {
+			continue
+		}
+		k.schedQ.TrySend(pod)
+	}
+}
+
+// requestedCPU returns the node's requested CPU in cores from the per-node
+// accounting.
+func (k *Kube) requestedCPU(node string) float64 { return k.reqCPU[node] }
+
+// requestedScan recomputes a node's requested CPU and memory by rescanning
+// the pod store — the seed algorithm, kept as the oracle the incremental
+// accounting is asserted against in tests.
+func (k *Kube) requestedScan(node string) (cpu float64, memMB int) {
+	for _, pod := range k.pods {
+		if pod.NodeName == node && pod.phase != PhaseDead && pod.phase != PhaseFailed {
+			cpu += pod.Spec.CPURequest
+			memMB += pod.Spec.MemMB
+		}
+	}
+	return cpu, memMB
 }
 
 // kubeletLoop reconciles pods bound to one node.
@@ -353,12 +476,14 @@ func (k *Kube) bringUp(p *sim.Proc, pod *Pod, node *cluster.Node) {
 	if pod.deleted {
 		sp.SetLabel("status", "cancelled")
 		pod.phase = PhaseDead
+		k.unbind(pod)
 		pod.readyF.Set(fmt.Errorf("kube: pod %s deleted before startup", pod.Spec.Name))
 		return
 	}
 	fail := func(err error) {
 		sp.SetLabel("status", "failed")
 		pod.phase = PhaseFailed
+		k.unbind(pod)
 		pod.readyF.Set(err)
 	}
 	if err := node.ReserveMem(pod.Spec.MemMB); err != nil {
@@ -401,6 +526,7 @@ func (k *Kube) bringUp(p *sim.Proc, pod *Pod, node *cluster.Node) {
 		_ = c.StopRemove(p)
 		node.ReleaseMem(pod.Spec.MemMB)
 		pod.phase = PhaseDead
+		k.unbind(pod)
 		pod.readyF.Set(fmt.Errorf("kube: pod %s deleted during startup", pod.Spec.Name))
 		return
 	}
@@ -424,4 +550,6 @@ func (k *Kube) teardown(p *sim.Proc, pod *Pod, node *cluster.Node) {
 	}
 	pod.phase = PhaseDead
 	pod.ready = false
+	k.unbind(pod) // normally already unbound at DeletePod; idempotent
+	k.kickPending()
 }

@@ -97,6 +97,10 @@ func StageOf(sp *Span) Stage {
 		}
 	case "kube":
 		return StageContainer
+	case "sched":
+		// Placement decisions are zero-duration markers; any self time they
+		// ever carry is scheduler machinery.
+		return StageOverhead
 	case "storage":
 		return StageStaging
 	case "exec":
@@ -296,11 +300,15 @@ func addSelfTimes(root *Span, children map[SpanID][]*Span, into map[Stage]time.D
 			covered += c.Duration()
 			walk(c)
 		}
-		self := sp.Duration() - covered
-		if self < 0 {
-			self = 0
+		// Zero-duration marker spans (placement decisions) carry no time and
+		// must not materialize empty stage buckets.
+		if sp.Duration() > 0 {
+			self := sp.Duration() - covered
+			if self < 0 {
+				self = 0
+			}
+			into[StageOf(sp)] += self
 		}
-		into[StageOf(sp)] += self
 	}
 	walk(root)
 }

@@ -321,11 +321,30 @@ func (e *Engine) submitTask(wf *Workflow, task *TaskSpec, mode Mode) (*condor.Jo
 	}
 
 	// stageIn/stageOut touch the data service from the execution node when
-	// remote staging is on; no-ops for condorio.
+	// remote staging is on; no-ops for condorio. With ScratchCache on,
+	// shared-fs staging keeps a scratch copy of every file that passes
+	// through a node: stage-out writes it alongside the share, and stage-in
+	// short-circuits to local scratch when the file is already resident —
+	// the residency the data-locality placement policy steers towards.
 	stageIn := func(p *sim.Proc, node string) error {
 		for _, f := range task.Inputs {
 			switch e.Staging {
 			case StageSharedFS:
+				if e.Prm.ScratchCache {
+					sc := e.Cl.MustNode(node).Scratch
+					if sc.Has(f.LFN) {
+						if _, err := sc.Get(p, f.LFN); err != nil {
+							return err
+						}
+						continue
+					}
+					size, err := e.FS.Read(p, node, f.LFN)
+					if err != nil {
+						return err
+					}
+					sc.Put(p, f.LFN, size)
+					continue
+				}
 				if _, err := e.FS.Read(p, node, f.LFN); err != nil {
 					return err
 				}
@@ -341,6 +360,9 @@ func (e *Engine) submitTask(wf *Workflow, task *TaskSpec, mode Mode) (*condor.Jo
 		for _, f := range task.Outputs {
 			switch e.Staging {
 			case StageSharedFS:
+				if e.Prm.ScratchCache {
+					e.Cl.MustNode(node).Scratch.Put(p, f.LFN, f.Bytes)
+				}
 				e.FS.Write(p, node, f.LFN, f.Bytes)
 			case StageObjectStore:
 				if err := e.Store.Put(p, node, wf.Name, f.LFN, f.Bytes); err != nil {
@@ -351,10 +373,30 @@ func (e *Engine) submitTask(wf *Workflow, task *TaskSpec, mode Mode) (*condor.Jo
 		return nil
 	}
 
+	// The task's logical input files feed condor's data-locality placement
+	// score (residency only ever matters under remote staging).
+	var inputLFNs []string
+	if remoteData {
+		for _, f := range task.Inputs {
+			inputLFNs = append(inputLFNs, f.LFN)
+		}
+	}
+	submit := func(inB, outB int64, run condor.JobFunc) *condor.Job {
+		return e.Pool.SubmitJob(condor.JobSpec{
+			Name:                name,
+			Priority:            task.Priority,
+			Requires:            requires,
+			TransferInputBytes:  inB,
+			TransferOutputBytes: outB,
+			InputLFNs:           inputLFNs,
+			Run:                 run,
+		})
+	}
+
 	switch mode {
 	case ModeNative:
 		// Setup 1: the task runs straight on the claimed slot.
-		return e.Pool.SubmitConstrained(name, task.Priority, requires, inBytes, outBytes, func(ctx *condor.ExecContext) error {
+		return submit(inBytes, outBytes, func(ctx *condor.ExecContext) error {
 			if err := stageIn(ctx.Proc, ctx.Node.Name); err != nil {
 				return err
 			}
@@ -381,7 +423,7 @@ func (e *Engine) submitTask(wf *Workflow, task *TaskSpec, mode Mode) (*condor.Jo
 		if !ok {
 			return nil, fmt.Errorf("wms: image %q for transformation %q not in registry", tr.Image, tr.Name)
 		}
-		return e.Pool.SubmitConstrained(name, task.Priority, requires, inBytes+img.Bytes(), outBytes, func(ctx *condor.ExecContext) error {
+		return submit(inBytes+img.Bytes(), outBytes, func(ctx *condor.ExecContext) error {
 			rt, ok := e.Runtimes[ctx.Node.Name]
 			if !ok {
 				return fmt.Errorf("wms: no container runtime on %s", ctx.Node.Name)
@@ -428,7 +470,7 @@ func (e *Engine) submitTask(wf *Workflow, task *TaskSpec, mode Mode) (*condor.Jo
 		if !ok {
 			return nil, fmt.Errorf("wms: no serverless function registered for transformation %q", task.Transformation)
 		}
-		return e.Pool.SubmitConstrained(name, task.Priority, requires, inBytes, outBytes, func(ctx *condor.ExecContext) error {
+		return submit(inBytes, outBytes, func(ctx *condor.ExecContext) error {
 			ws := trace.Start(ctx.Proc, "wms", "wrapper-startup",
 				trace.L("task", name), trace.L("node", ctx.Node.Name))
 			ctx.Proc.Sleep(e.Prm.WrapperStartup) // python invoker script startup
