@@ -20,7 +20,6 @@ package fluid
 import (
 	"fmt"
 	"math"
-	"sort"
 	"time"
 
 	"repro/internal/sim"
@@ -31,15 +30,26 @@ const eps = 1e-7
 
 // Server is a fluid-shared resource. Create one with New; all methods must
 // be called from simulation context.
+//
+// The server is engineered for the simulator's hot path: job structs are
+// pooled, the completion callback is bound once, and the all-uncapped case
+// (the overwhelmingly common one — plain processor sharing) recomputes
+// rates without sorting or allocating, so a steady-state arrival/departure
+// cycle of uncapped jobs allocates nothing.
 type Server struct {
 	env      *sim.Env
 	name     string
 	capacity float64
 	jobs     []*job
 	nextSeq  uint64
-	timer    *sim.Timer
+	timer    sim.Timer
 	last     time.Duration
 	served   float64 // total work completed, for accounting
+	bounded  int     // jobs with a cap or a floor; 0 enables the fast path
+	onDone   func()  // s.complete, bound once to avoid a closure per rearm
+	order    []*job  // scratch for the water-filling sort
+	scratch  []*job  // merge scratch for sortByHeadroom
+	pool     []*job  // recycled job structs
 }
 
 type job struct {
@@ -48,7 +58,7 @@ type job struct {
 	cap       float64 // max rate; 0 means uncapped
 	floor     float64 // guaranteed rate (cgroup reservation); 0 means none
 	rate      float64
-	done      *sim.Future[struct{}]
+	gate      sim.Gate // parks the submitting process until the job drains
 }
 
 // New returns a fluid server with the given capacity in work units per
@@ -57,7 +67,9 @@ func New(env *sim.Env, name string, capacity float64) *Server {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("fluid: capacity %v must be positive", capacity))
 	}
-	return &Server{env: env, name: name, capacity: capacity}
+	s := &Server{env: env, name: name, capacity: capacity}
+	s.onDone = s.complete
+	return s
 }
 
 // Capacity returns the server's total capacity in work units per second.
@@ -120,11 +132,40 @@ func (s *Server) RunReserved(p *sim.Proc, work, maxRate, floor float64) {
 		floor = maxRate
 	}
 	s.advance()
-	j := &job{seq: s.nextSeq, remaining: work, cap: maxRate, floor: floor, done: sim.NewFuture[struct{}](s.env)}
-	s.nextSeq++
+	j := s.newJob(work, maxRate, floor)
 	s.jobs = append(s.jobs, j)
+	if j.cap > 0 || j.floor > 0 {
+		s.bounded++
+	}
 	s.reschedule()
-	j.done.Get(p)
+	j.gate.Wait(p)
+	s.release(j)
+}
+
+// newJob takes a job struct off the pool (or allocates one) and initializes
+// it for one service cycle.
+func (s *Server) newJob(work, maxRate, floor float64) *job {
+	var j *job
+	if n := len(s.pool); n > 0 {
+		j = s.pool[n-1]
+		s.pool[n-1] = nil
+		s.pool = s.pool[:n-1]
+	} else {
+		j = &job{}
+	}
+	j.seq = s.nextSeq
+	j.remaining = work
+	j.cap = maxRate
+	j.floor = floor
+	j.rate = 0
+	s.nextSeq++
+	return j
+}
+
+// release recycles a drained job struct. Called by the submitting process
+// after its gate opened, when nothing else references the job.
+func (s *Server) release(j *job) {
+	s.pool = append(s.pool, j)
 }
 
 // advance charges elapsed virtual time against every active job at its
@@ -149,9 +190,28 @@ func (s *Server) advance() {
 // recompute assigns rates: guaranteed floors first (scaled down
 // proportionally if over-reserved), then the remaining capacity max-min
 // fair over each job's residual headroom via water-filling.
+//
+// Rates are a pure function of the job list (order, caps, floors) and the
+// capacity — remaining work never enters — which is what lets complete skip
+// the recompute when no job departed.
 func (s *Server) recompute() {
 	n := len(s.jobs)
 	if n == 0 {
+		return
+	}
+	if s.bounded == 0 {
+		// Fast path: no floors and no caps, so phase 1 assigns zero
+		// rates and phase 2 visits jobs in insertion order with
+		// unlimited headroom. Replaying exactly that arithmetic
+		// (a shrinking fair share, not capacity/n, which differs in
+		// the last ulp) keeps results byte-identical to the general
+		// path while skipping the sort and all allocation.
+		remCap := s.capacity
+		for i, j := range s.jobs {
+			fair := remCap / float64(n-i)
+			j.rate = fair
+			remCap -= fair
+		}
 		return
 	}
 	// Phase 1: floors. Scale proportionally when the server is
@@ -175,25 +235,12 @@ func (s *Server) recompute() {
 	// Phase 2: distribute the remainder max-min over residual headroom
 	// (cap - floor; uncapped jobs have unlimited headroom). Ascending
 	// headroom first, stable on insertion sequence for determinism.
-	order := make([]*job, n)
-	copy(order, s.jobs)
-	headroom := func(j *job) (h float64, bounded bool) {
-		if j.cap == 0 {
-			return 0, false
-		}
-		return j.cap - j.rate, true
+	if cap(s.order) < n {
+		s.order = make([]*job, 0, max(n, 2*cap(s.order)))
+		s.scratch = make([]*job, 0, cap(s.order))
 	}
-	sort.SliceStable(order, func(i, k int) bool {
-		hi, bi := headroom(order[i])
-		hk, bk := headroom(order[k])
-		if bi != bk {
-			return bi // bounded headroom before unbounded
-		}
-		if bi && hi != hk {
-			return hi < hk
-		}
-		return order[i].seq < order[k].seq
-	})
+	order := append(s.order[:0], s.jobs...)
+	order = sortByHeadroom(order, s.scratch[:n])
 	remJobs := n
 	for _, j := range order {
 		fair := remCap / float64(remJobs)
@@ -207,14 +254,75 @@ func (s *Server) recompute() {
 	}
 }
 
+// headroom is the extra rate a job can absorb above its floor. Uncapped
+// jobs report unbounded headroom.
+func headroom(j *job) (h float64, bounded bool) {
+	if j.cap == 0 {
+		return 0, false
+	}
+	return j.cap - j.rate, true
+}
+
+// headroomLess orders jobs bounded-before-unbounded, then ascending
+// headroom, then insertion sequence. seq is unique, so this is a strict
+// total order and any correct sort yields the same permutation the
+// previous sort.SliceStable did.
+func headroomLess(a, b *job) bool {
+	ha, ba := headroom(a)
+	hb, bb := headroom(b)
+	if ba != bb {
+		return ba // bounded headroom before unbounded
+	}
+	if ba && ha != hb {
+		return ha < hb
+	}
+	return a.seq < b.seq
+}
+
+// sortByHeadroom sorts jobs by headroomLess with a bottom-up merge sort
+// over the caller's scratch space, avoiding the reflection and closure
+// allocation of sort.SliceStable on the hot path. It returns the slice
+// holding the sorted result (one of order or scratch).
+func sortByHeadroom(order, scratch []*job) []*job {
+	n := len(order)
+	src, dst := order, scratch
+	for width := 1; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := lo + width
+			if mid > n {
+				mid = n
+			}
+			hi := lo + 2*width
+			if hi > n {
+				hi = n
+			}
+			i, k := lo, mid
+			for out := lo; out < hi; out++ {
+				if i < mid && (k >= hi || !headroomLess(src[k], src[i])) {
+					dst[out] = src[i]
+					i++
+				} else {
+					dst[out] = src[k]
+					k++
+				}
+			}
+		}
+		src, dst = dst, src
+	}
+	return src
+}
+
 // reschedule recomputes rates and (re)arms the completion timer for the
 // earliest-finishing job.
 func (s *Server) reschedule() {
-	if s.timer != nil {
-		s.timer.Stop()
-		s.timer = nil
-	}
+	s.timer.Stop()
+	s.timer = sim.Timer{}
 	s.recompute()
+	s.rearm()
+}
+
+// rearm schedules complete for the earliest projected job completion.
+func (s *Server) rearm() {
 	next := math.Inf(1)
 	for _, j := range s.jobs {
 		if j.rate <= 0 {
@@ -231,22 +339,37 @@ func (s *Server) reschedule() {
 	if d < time.Nanosecond {
 		d = time.Nanosecond
 	}
-	s.timer = s.env.After(d, s.complete)
+	s.timer = s.env.After(d, s.onDone)
 }
 
 // complete fires when the earliest job should have drained; it settles
-// accounts, wakes finished jobs, and rearms.
+// accounts, wakes finished jobs, and rearms. When rounding fired the timer
+// a hair early and nothing actually departed, the rate assignment cannot
+// have changed (rates do not depend on remaining work), so it skips the
+// recompute and only rearms.
 func (s *Server) complete() {
-	s.timer = nil
+	s.timer = sim.Timer{}
 	s.advance()
+	departed := false
 	kept := s.jobs[:0]
 	for _, j := range s.jobs {
 		if j.remaining <= eps {
-			j.done.Set(struct{}{})
+			if j.cap > 0 || j.floor > 0 {
+				s.bounded--
+			}
+			departed = true
+			j.gate.Open()
 		} else {
 			kept = append(kept, j)
 		}
 	}
+	for i := len(kept); i < len(s.jobs); i++ {
+		s.jobs[i] = nil
+	}
 	s.jobs = kept
+	if !departed {
+		s.rearm()
+		return
+	}
 	s.reschedule()
 }

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// The kernel's free list and baton hand-off make the steady-state hot
+// paths allocation-free. These budgets are load-bearing for simulator
+// throughput; a regression here silently costs every experiment.
+
+// TestSleepSteadyStateZeroAlloc: a process sleeping in a loop must not
+// allocate once the event free list and run-queue ring are warm.
+func TestSleepSteadyStateZeroAlloc(t *testing.T) {
+	env := NewEnv(1)
+	env.Go("ticker", func(p *Proc) {
+		for {
+			p.Sleep(time.Millisecond)
+		}
+	})
+	env.RunFor(50 * time.Millisecond) // warm pools
+	avg := testing.AllocsPerRun(200, func() {
+		env.RunFor(time.Millisecond)
+	})
+	if avg != 0 {
+		t.Errorf("steady-state Sleep allocates %.1f times per event, want 0", avg)
+	}
+}
+
+// TestAfterStopSteadyStateZeroAlloc: arming and cancelling timers from
+// scheduler context recycles event structs and allocates nothing, and the
+// value Timer handle stays off the heap.
+func TestAfterStopSteadyStateZeroAlloc(t *testing.T) {
+	env := NewEnv(1)
+	for i := 0; i < 100; i++ { // warm the free list
+		env.After(time.Millisecond, func() {})
+	}
+	env.Run()
+	avg := testing.AllocsPerRun(200, func() {
+		tm := env.After(time.Millisecond, func() {})
+		if !tm.Stop() {
+			t.Fatal("Stop of fresh timer returned false")
+		}
+		env.RunFor(2 * time.Millisecond) // collect the cancelled event
+	})
+	if avg != 0 {
+		t.Errorf("steady-state After+Stop allocates %.1f times per cycle, want 0", avg)
+	}
+}
+
+// TestAfterFireSteadyStateZeroAlloc: the full arm→fire→recycle cycle of a
+// plain callback event is allocation-free too.
+func TestAfterFireSteadyStateZeroAlloc(t *testing.T) {
+	env := NewEnv(1)
+	fired := 0
+	cb := func() { fired++ }
+	for i := 0; i < 100; i++ {
+		env.After(time.Millisecond, cb)
+	}
+	env.Run()
+	avg := testing.AllocsPerRun(200, func() {
+		env.After(time.Millisecond, cb)
+		env.RunFor(time.Millisecond)
+	})
+	if avg != 0 {
+		t.Errorf("steady-state After+fire allocates %.1f times per event, want 0", avg)
+	}
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// baton is the scheduling hand-off between the environment's driver
+// goroutine and its process goroutines. Exactly one side holds the baton at
+// any time: pass gives it away, await blocks until it arrives. It replaces
+// a pair of unbuffered channel operations with a single atomic store on the
+// fast path — the partner is almost always about to look — backed by a
+// short Gosched phase and finally a true channel park, so a long wait costs
+// no CPU. The atomics (and the fallback channel) carry the same
+// happens-before edge the channels did, so model state still needs no
+// locking and the race detector still sees the hand-off chain.
+type baton struct {
+	state atomic.Uint32
+	ch    chan struct{}
+}
+
+const (
+	batonIdle   uint32 = iota // nobody has passed, nobody is parked
+	batonPassed               // passed and not yet collected
+	batonAsleep               // awaiter gave up spinning and parked on ch
+)
+
+// spin budgets: a few raw loads for a partner already running on another
+// CPU, then a handful of Gosched yields that let a same-P partner run.
+// Long budgets hurt on oversubscribed hosts (the spinner steals cycles from
+// the very goroutine it is waiting for), so both phases are short.
+const (
+	batonPureSpins   = 8
+	batonGoschedSpin = 32
+)
+
+func (b *baton) init() {
+	b.ch = make(chan struct{}, 1)
+}
+
+// pass hands the baton to the awaiting side. The caller must hold the
+// baton; passing wakes the partner if it already parked.
+func (b *baton) pass() {
+	if b.state.Swap(batonPassed) == batonAsleep {
+		b.ch <- struct{}{}
+	}
+}
+
+// await blocks until the partner passes the baton, then takes it. It spins
+// before parking, so it suits the driver's yield baton: the running process
+// almost always passes back within a few hundred nanoseconds, and only one
+// driver per Env ever spins.
+func (b *baton) await() {
+	for i := 0; i < batonPureSpins; i++ {
+		if b.state.Load() == batonPassed {
+			b.state.Store(batonIdle)
+			return
+		}
+	}
+	for i := 0; i < batonGoschedSpin; i++ {
+		runtime.Gosched()
+		if b.state.Load() == batonPassed {
+			b.state.Store(batonIdle)
+			return
+		}
+	}
+	b.awaitParked()
+}
+
+// awaitBlocking takes the baton if it is already there and otherwise parks
+// on the channel without spinning. It suits a process's resume baton: a
+// parked process may stay parked for a long stretch of virtual time, and a
+// simulation with thousands of parked processes cannot afford to have each
+// of them burn scheduler cycles before going to sleep.
+func (b *baton) awaitBlocking() {
+	if b.state.CompareAndSwap(batonPassed, batonIdle) {
+		return
+	}
+	b.awaitParked()
+}
+
+func (b *baton) awaitParked() {
+	for {
+		if b.state.CompareAndSwap(batonPassed, batonIdle) {
+			return
+		}
+		if b.state.CompareAndSwap(batonIdle, batonAsleep) {
+			<-b.ch
+			b.state.Store(batonIdle)
+			return
+		}
+	}
+}

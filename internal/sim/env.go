@@ -17,7 +17,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"time"
@@ -28,18 +27,21 @@ import (
 // with Run, RunUntil, or RunFor. An Env must be driven from a single
 // goroutine that is not itself a simulation process.
 type Env struct {
-	now    time.Duration
-	events eventHeap
-	ready  []*Proc
-	procs  map[int]*Proc // live processes, for diagnostics
-	seq    uint64
-	yield  chan struct{}
-	cur    *Proc
-	alive  int
-	nextID int
-	rng    *RNG
-	trace  TraceFunc
-	attach map[string]any
+	now      time.Duration
+	events   eventQueue
+	free     []*event // recycled event structs; steady-state After is 0-alloc
+	ncancel  int      // cancelled events still buried in the queue
+	ready    procRing
+	procs    map[int]*Proc // live processes, for diagnostics
+	procPool []*Proc       // finished processes recycled by Go
+	seq      uint64
+	yield    baton
+	cur      *Proc
+	alive    int
+	nextID   int
+	rng      *RNG
+	trace    TraceFunc
+	attach   map[string]any
 }
 
 // TraceFunc receives structured trace records from Env.Tracef.
@@ -49,11 +51,12 @@ type TraceFunc func(at time.Duration, component, message string)
 // seeded with seed. Two environments with the same seed and the same model
 // code execute identically.
 func NewEnv(seed uint64) *Env {
-	return &Env{
-		yield: make(chan struct{}),
+	e := &Env{
 		procs: make(map[int]*Proc),
 		rng:   NewRNG(seed),
 	}
+	e.yield.init()
+	return e
 }
 
 // Now returns the current virtual time, measured from the start of the
@@ -114,45 +117,122 @@ func (e *Env) DumpBlocked(sink func(line string)) {
 
 // Go spawns a new process executing fn and schedules it to run at the
 // current virtual time. The name is used in traces and diagnostics.
+// Process structs (and their hand-off batons) are recycled from completed
+// processes; a *Proc handle is only meaningful while its process is alive.
 func (e *Env) Go(name string, fn func(*Proc)) *Proc {
-	p := &Proc{
-		env:    e,
-		id:     e.nextID,
-		name:   name,
-		state:  stateReady,
-		resume: make(chan struct{}),
+	var p *Proc
+	if n := len(e.procPool); n > 0 {
+		p = e.procPool[n-1]
+		e.procPool[n-1] = nil
+		e.procPool = e.procPool[:n-1]
+	} else {
+		p = &Proc{env: e}
+		p.resume.init()
 	}
+	p.id = e.nextID
+	p.name = name
+	p.state = stateReady
 	e.nextID++
 	e.alive++
 	e.procs[p.id] = p
-	e.ready = append(e.ready, p)
+	e.ready.push(p)
 	go func() {
-		<-p.resume
+		p.resume.awaitBlocking()
 		fn(p)
 		p.state = stateDone
 		e.alive--
 		delete(e.procs, p.id)
-		e.yield <- struct{}{}
+		e.procPool = append(e.procPool, p)
+		e.yield.pass()
 	}()
 	return p
+}
+
+// newEvent takes an event struct off the free list (or allocates one) and
+// stamps it with the next sequence number.
+func (e *Env) newEvent(at time.Duration, fn func(), p *Proc) *event {
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = at
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.proc = p
+	e.seq++
+	return ev
+}
+
+// release recycles an event struct that left the queue (fired or collected
+// after cancellation). Bumping gen first invalidates every outstanding
+// Timer handle to it. Recycling never reorders equal-time events: order is
+// decided by (at, seq) alone and seq still increases monotonically across
+// recycled structs.
+func (e *Env) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.proc = nil
+	ev.cancelled = false
+	e.free = append(e.free, ev)
+}
+
+// noteCancelled is called by Timer.Stop. Cancelled events normally leave
+// the queue lazily when they reach the top; when they pile up past a
+// quarter of the queue we compact eagerly so a cancellation-heavy workload
+// (retry timers, timeouts that rarely fire) cannot bloat the heap.
+func (e *Env) noteCancelled() {
+	e.ncancel++
+	if e.ncancel >= 64 && e.ncancel*4 >= len(e.events) {
+		e.compactEvents()
+	}
+}
+
+// compactEvents filters cancelled events out of the queue in one pass and
+// restores the heap property. Pop order of the surviving events is
+// unchanged (see eventQueue.heapify).
+func (e *Env) compactEvents() {
+	kept := e.events[:0]
+	for _, ev := range e.events {
+		if ev.cancelled {
+			e.release(ev)
+		} else {
+			kept = append(kept, ev)
+		}
+	}
+	for i := len(kept); i < len(e.events); i++ {
+		e.events[i] = nil
+	}
+	e.events = kept
+	e.events.heapify()
+	e.ncancel = 0
 }
 
 // At schedules fn to run in scheduler context at absolute virtual time t
 // (clamped to now). The callback must not block on simulation primitives; it
 // may wake processes, complete futures, and schedule further events.
-func (e *Env) At(t time.Duration, fn func()) *Timer {
+func (e *Env) At(t time.Duration, fn func()) Timer {
 	if t < e.now {
 		t = e.now
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.events, ev)
-	return &Timer{ev: ev}
+	ev := e.newEvent(t, fn, nil)
+	e.events.push(ev)
+	return Timer{env: e, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run in scheduler context d from now. See At.
-func (e *Env) After(d time.Duration, fn func()) *Timer {
+func (e *Env) After(d time.Duration, fn func()) Timer {
 	return e.At(e.now+d, fn)
+}
+
+// afterWake schedules a bare wake-up of p d from now — the allocation-free
+// core of Sleep (no closure, no Timer handle).
+func (e *Env) afterWake(d time.Duration, p *Proc) {
+	ev := e.newEvent(e.now+d, nil, p)
+	e.events.push(ev)
 }
 
 // Run drives the simulation until no process is runnable and no event is
@@ -182,30 +262,35 @@ func (e *Env) RunFor(d time.Duration) time.Duration {
 // next blocking point, or fire the next event. horizon < 0 means no limit.
 // It returns false when there is nothing left to do within the horizon.
 func (e *Env) step(horizon time.Duration) bool {
-	if len(e.ready) > 0 {
-		p := e.ready[0]
-		copy(e.ready, e.ready[1:])
-		e.ready = e.ready[:len(e.ready)-1]
+	if p, ok := e.ready.pop(); ok {
 		e.cur = p
 		p.state = stateRunning
-		p.resume <- struct{}{}
-		<-e.yield
+		p.resume.pass()
+		e.yield.await()
 		e.cur = nil
 		return true
 	}
-	for e.events.Len() > 0 {
+	for len(e.events) > 0 {
 		ev := e.events[0]
 		if ev.cancelled {
-			heap.Pop(&e.events)
+			e.events.popMin()
+			e.ncancel--
+			e.release(ev)
 			continue
 		}
 		if horizon >= 0 && ev.at > horizon {
 			e.now = horizon
 			return false
 		}
-		heap.Pop(&e.events)
+		e.events.popMin()
 		e.now = ev.at
-		ev.fn()
+		fn, p := ev.fn, ev.proc
+		e.release(ev)
+		if p != nil {
+			p.wake()
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
@@ -216,5 +301,46 @@ func (e *Env) step(horizon time.Duration) bool {
 // callback).
 func (e *Env) enqueue(p *Proc) {
 	p.state = stateReady
-	e.ready = append(e.ready, p)
+	e.ready.push(p)
+}
+
+// procRing is the run queue: a head-indexed growable ring buffer with
+// power-of-two capacity. Dequeue is O(1) where a head-shifted slice
+// (copy(s, s[1:])) is O(n) per scheduling step.
+type procRing struct {
+	buf  []*Proc
+	head int
+	n    int
+}
+
+func (r *procRing) push(p *Proc) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = p
+	r.n++
+}
+
+func (r *procRing) pop() (*Proc, bool) {
+	if r.n == 0 {
+		return nil, false
+	}
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return p, true
+}
+
+func (r *procRing) grow() {
+	newCap := 16
+	if len(r.buf) > 0 {
+		newCap = len(r.buf) * 2
+	}
+	buf := make([]*Proc, newCap)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
 }

@@ -38,7 +38,7 @@ type Proc struct {
 	id     int
 	name   string
 	state  procState
-	resume chan struct{}
+	resume baton
 }
 
 // Env returns the environment the process belongs to.
@@ -65,11 +65,22 @@ func (p *Proc) Tracef(format string, args ...any) {
 func (p *Proc) String() string { return fmt.Sprintf("proc %d (%s)", p.id, p.name) }
 
 // park yields the scheduling baton and blocks until another process or an
-// event callback calls wake.
+// event callback calls wake. When the parking process is provably the
+// scheduler's next dispatch — nothing else is runnable and the earliest
+// event is its own wake-up — it spins for the baton instead of parking on
+// the channel: the resume is nanoseconds away, and the spin turns the
+// park/resume round trip into two atomic operations. Any other parked
+// process goes straight to sleep and costs no CPU.
 func (p *Proc) park() {
+	e := p.env
+	spin := e.ready.n == 0 && len(e.events) > 0 && e.events[0].proc == p
 	p.state = stateParked
-	p.env.yield <- struct{}{}
-	<-p.resume
+	e.yield.pass()
+	if spin {
+		p.resume.await()
+	} else {
+		p.resume.awaitBlocking()
+	}
 	p.state = stateRunning
 }
 
@@ -83,13 +94,15 @@ func (p *Proc) wake() {
 }
 
 // Sleep blocks the process for d of virtual time. Non-positive durations
-// yield the processor without advancing the clock.
+// yield the processor without advancing the clock. Sleeping allocates
+// nothing in steady state: the wake-up event is a recycled struct carrying
+// the process pointer directly, with no closure and no Timer handle.
 func (p *Proc) Sleep(d time.Duration) {
 	if d <= 0 {
 		p.Yield()
 		return
 	}
-	p.env.After(d, p.wake)
+	p.env.afterWake(d, p)
 	p.park()
 }
 
@@ -106,8 +119,14 @@ func (p *Proc) SleepUntil(t time.Duration) {
 // currently runnable process execute before it resumes. The clock does not
 // advance.
 func (p *Proc) Yield() {
-	p.env.enqueue(p)
-	p.env.yield <- struct{}{}
-	<-p.resume
+	e := p.env
+	e.enqueue(p)
+	spin := e.ready.n == 1 // alone in the run queue: resumed next
+	e.yield.pass()
+	if spin {
+		p.resume.await()
+	} else {
+		p.resume.awaitBlocking()
+	}
 	p.state = stateRunning
 }

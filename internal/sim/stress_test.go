@@ -123,3 +123,76 @@ func TestStressTimerCancellationStorm(t *testing.T) {
 		t.Errorf("fired = %d, want %d", fired, wantFired)
 	}
 }
+
+// TestStressMixedPrimitiveChurn exercises the recycled-event heap, the
+// run-queue ring, and the proc pool together: processes spawn child
+// processes mid-flight, timers are armed and half of them cancelled before
+// firing, and every primitive is churned concurrently. The schedule must be
+// reproducible and the simulation must drain.
+func TestStressMixedPrimitiveChurn(t *testing.T) {
+	run := func(seed uint64) (fingerprint uint64, end time.Duration) {
+		env := NewEnv(seed)
+		wg := NewWaitGroup(env)
+		ch := NewChan[int](env, 2)
+		var fp uint64
+		mix := func(p *Proc, depth, i int) {
+			// Arm a timer; cancel half mid-flight after a short sleep.
+			hits := 0
+			tm := p.Env().After(time.Duration(1+p.Rand().Intn(40))*time.Millisecond, func() { hits++ })
+			p.Sleep(time.Duration(p.Rand().Intn(20)) * time.Millisecond)
+			stopped := tm.Stop()
+			fp = fp*31 + uint64(hits) + uint64(p.Now())
+			if stopped {
+				fp++
+			}
+			_ = i
+		}
+		var spawn func(p *Proc, depth int)
+		spawn = func(p *Proc, depth int) {
+			mix(p, depth, 0)
+			if depth < 3 {
+				// Processes spawning processes: the proc pool recycles
+				// finished structs while their parents still run.
+				n := 1 + p.Rand().Intn(2)
+				for i := 0; i < n; i++ {
+					wg.Add(1)
+					p.Env().Go("child", func(c *Proc) {
+						defer wg.Done()
+						spawn(c, depth+1)
+					})
+				}
+			}
+			ch.Send(p, depth)
+		}
+		for i := 0; i < 32; i++ {
+			wg.Add(1)
+			env.Go("root", func(p *Proc) {
+				defer wg.Done()
+				spawn(p, 0)
+			})
+		}
+		env.Go("drain", func(p *Proc) {
+			for {
+				v, ok := ch.Recv(p)
+				if !ok {
+					return
+				}
+				fp = fp*131 + uint64(v)
+			}
+		})
+		env.Go("closer", func(p *Proc) {
+			wg.Wait(p)
+			ch.Close()
+		})
+		end = env.Run()
+		if env.Alive() != 0 {
+			t.Fatalf("alive = %d after churn, want 0", env.Alive())
+		}
+		return fp, end
+	}
+	fp1, end1 := run(42)
+	fp2, end2 := run(42)
+	if fp1 != fp2 || end1 != end2 {
+		t.Errorf("churn runs diverged: fp %d vs %d, end %v vs %v", fp1, fp2, end1, end2)
+	}
+}

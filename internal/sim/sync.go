@@ -110,6 +110,40 @@ func (wg *WaitGroup) Wait(p *Proc) {
 	p.park()
 }
 
+// Gate is a single-waiter, reusable rendezvous: one process Waits, another
+// party (a process or an event callback) Opens it, releasing the waiter.
+// It is the allocation-free core of Future for the common case of exactly
+// one waiter and no value — unlike Future it keeps no waiter list, is not
+// write-once, and can be embedded by value and reused across cycles, which
+// is what lets a pooled object park its owner without allocating.
+type Gate struct {
+	p *Proc
+}
+
+// Wait parks the calling process until Open. A Gate holds at most one
+// waiter; a second Wait before Open is a modelling bug and panics.
+func (g *Gate) Wait(p *Proc) {
+	if g.p != nil {
+		panic("sim: Gate already has a waiter")
+	}
+	g.p = p
+	p.park()
+}
+
+// Open releases the waiting process. Opening a Gate nobody waits on is a
+// modelling bug and panics.
+func (g *Gate) Open() {
+	p := g.p
+	if p == nil {
+		panic("sim: Open of a Gate with no waiter")
+	}
+	g.p = nil
+	p.wake()
+}
+
+// Waiting reports whether a process is parked on the gate.
+func (g *Gate) Waiting() bool { return g.p != nil }
+
 // Signal is a broadcast-only condition variable: processes Wait on it and
 // every Broadcast wakes all current waiters. It backs watch/notify patterns
 // (informers, reconcile loops).

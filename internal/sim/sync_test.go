@@ -1,5 +1,9 @@
 package sim
 
+// Gate tests live alongside the other primitive tests; Gate is the
+// allocation-free single-waiter rendezvous backing pooled objects such as
+// fluid's job structs.
+
 import (
 	"testing"
 	"time"
@@ -209,4 +213,60 @@ func TestFutureDoubleSetPanics(t *testing.T) {
 	f := NewFuture[int](env)
 	f.Set(1)
 	f.Set(2)
+}
+
+func TestGateWaitOpen(t *testing.T) {
+	env := NewEnv(1)
+	var g Gate
+	var opened time.Duration
+	env.Go("waiter", func(p *Proc) {
+		g.Wait(p)
+		opened = p.Now()
+	})
+	env.Go("opener", func(p *Proc) {
+		p.Sleep(time.Second)
+		if !g.Waiting() {
+			t.Error("Waiting = false with a parked waiter")
+		}
+		g.Open()
+	})
+	env.Run()
+	if opened != time.Second {
+		t.Errorf("waiter released at %v, want 1s", opened)
+	}
+	if g.Waiting() {
+		t.Error("Waiting = true after Open")
+	}
+}
+
+func TestGateReuse(t *testing.T) {
+	env := NewEnv(1)
+	var g Gate
+	rounds := 0
+	env.Go("waiter", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			g.Wait(p)
+			rounds++
+		}
+	})
+	env.Go("opener", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(time.Second)
+			g.Open()
+		}
+	})
+	env.Run()
+	if rounds != 5 {
+		t.Errorf("waiter released %d times, want 5", rounds)
+	}
+}
+
+func TestGateOpenWithoutWaiterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Open without waiter did not panic")
+		}
+	}()
+	var g Gate
+	g.Open()
 }

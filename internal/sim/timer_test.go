@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTimerStopAfterFire is the regression test for Stop's contract: once
+// the event has fired, Stop must report false. The fired struct is recycled
+// by the kernel (generation bump), which is what a stale handle observes.
+// fluid.reschedule relies on this answer when it rearms its completion
+// timer.
+func TestTimerStopAfterFire(t *testing.T) {
+	env := NewEnv(1)
+	fired := 0
+	tm := env.After(time.Second, func() { fired++ })
+	env.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if tm.Stop() {
+		t.Error("Stop returned true after the event fired")
+	}
+	if tm.Stop() {
+		t.Error("repeated Stop after fire returned true")
+	}
+}
+
+// TestTimerStopInsideOwnCallback: a callback stopping its own timer is
+// "after fired" by definition.
+func TestTimerStopInsideOwnCallback(t *testing.T) {
+	env := NewEnv(1)
+	var tm Timer
+	var got bool
+	tm = env.After(time.Second, func() { got = tm.Stop() })
+	env.Run()
+	if got {
+		t.Error("Stop from inside the firing callback returned true")
+	}
+}
+
+// TestTimerStopAfterRecycle arms a timer, lets it fire, schedules another
+// event so the recycled struct is reused, and checks the stale handle
+// still reports false and cannot cancel the unrelated new event.
+func TestTimerStopAfterRecycle(t *testing.T) {
+	env := NewEnv(1)
+	stale := env.After(time.Millisecond, func() {})
+	env.Run()
+	fired := false
+	env.After(time.Millisecond, func() { fired = true }) // reuses the freed struct
+	if stale.Stop() {
+		t.Error("stale handle Stop returned true after recycle")
+	}
+	env.Run()
+	if !fired {
+		t.Error("stale handle cancelled an unrelated recycled event")
+	}
+}
+
+// TestZeroTimerStop: the zero Timer is inert.
+func TestZeroTimerStop(t *testing.T) {
+	var tm Timer
+	if tm.Stop() {
+		t.Error("zero Timer Stop returned true")
+	}
+}
+
+// TestCancelledCompaction floods the queue with cancelled timers and checks
+// that eager compaction keeps the heap from bloating and that exactly the
+// survivors fire, in a time order that never runs backwards.
+func TestCancelledCompaction(t *testing.T) {
+	env := NewEnv(1)
+	rng := NewRNG(7)
+	want := 0
+	fired := 0
+	last := time.Duration(-1)
+	for i := 0; i < 4096; i++ {
+		at := time.Duration(1+rng.Intn(1_000_000)) * time.Microsecond
+		tm := env.At(at, func() {
+			fired++
+			if env.Now() < last {
+				t.Fatalf("time ran backwards: %v after %v", env.Now(), last)
+			}
+			last = env.Now()
+		})
+		if rng.Float64() < 0.9 {
+			if !tm.Stop() {
+				t.Fatal("Stop of pending timer returned false")
+			}
+		} else {
+			want++
+		}
+	}
+	// With ~90% cancelled, eager compaction must have collected most of
+	// them already instead of leaving them buried until Run.
+	if len(env.events) > 2*want+64 {
+		t.Errorf("heap not compacted: %d events queued for %d survivors", len(env.events), want)
+	}
+	env.Run()
+	if fired != want {
+		t.Errorf("fired = %d, want %d", fired, want)
+	}
+}
