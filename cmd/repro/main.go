@@ -34,7 +34,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel replication workers (0 = GOMAXPROCS, 1 = sequential)")
 	traceOut := flag.String("trace-out", "", "with the trace experiment: write Chrome trace_event JSON to <prefix>-<mode>.json")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: repro [flags] {fig1|fig2|fig5|fig6|coldstart|config|all|datamove|resize|redirect|clustering|montage|isolation|placement|chaos|trace|ext}\n")
+		fmt.Fprintf(os.Stderr, "usage: repro [flags] {fig1|fig2|fig5|fig6|coldstart|config|all|datamove|resize|redirect|clustering|montage|isolation|placement|chaos|overload|trace|ext}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -85,11 +85,13 @@ func main() {
 			return writeResult(w, experiments.Placement(o))
 		case "chaos":
 			return writeResult(w, experiments.Chaos(o))
+		case "overload":
+			return writeResult(w, experiments.Overload(o))
 		case "trace":
 			res := experiments.Trace(o)
 			if *traceOut != "" {
 				for _, tc := range res.Rows {
-					path := fmt.Sprintf("%s-%s.json", *traceOut, tc.Mode)
+					path := fmt.Sprintf("%s-%s.json", *traceOut, tc.Label())
 					if err := os.WriteFile(path, tc.Tracer.ChromeBytes(), 0o644); err != nil {
 						return err
 					}
@@ -110,7 +112,7 @@ func main() {
 	case "all":
 		names = []string{"config", "coldstart", "fig1", "fig2", "fig5", "fig6"}
 	case "ext":
-		names = []string{"datamove", "resize", "redirect", "clustering", "montage", "isolation", "placement", "chaos"}
+		names = []string{"datamove", "resize", "redirect", "clustering", "montage", "isolation", "placement", "chaos", "overload"}
 	default:
 		names = []string{target}
 	}

@@ -188,6 +188,41 @@ type Params struct {
 	// failures.
 	InvokeRetry RetryPolicy
 
+	// ---- Overload protection (internal/resilience wiring; every knob
+	// defaults to 0 = disabled, preserving the unprotected seed behaviour) ----
+
+	// ActivatorQueueCap bounds the knative activator's per-service waiting
+	// room. Requests arriving with the room full are shed with
+	// resilience.ErrQueueFull instead of buffering without bound; admitted
+	// requests whose estimated queue wait exceeds their remaining deadline
+	// are shed with resilience.ErrWouldExpire. 0 = unbounded (seed).
+	ActivatorQueueCap int
+	// InvokeDeadline is the default end-to-end deadline stamped on knative
+	// requests that don't carry one. The deadline propagates with the
+	// request and is enforced at admission, at queue wake-up, and at the
+	// queue-proxy just before execution. 0 = no deadline.
+	InvokeDeadline time.Duration
+	// BreakerFailures trips a per-target circuit breaker after this many
+	// consecutive failures. 0 disables breakers everywhere.
+	BreakerFailures int
+	// BreakerOpenFor is how long a tripped breaker fast-fails before
+	// admitting half-open probes.
+	BreakerOpenFor time.Duration
+	// BreakerHalfOpenProbes bounds concurrent half-open probes (0 = 1).
+	BreakerHalfOpenProbes int
+	// RetryBudgetRatio is the token-bucket retry budget's earn rate:
+	// tokens deposited per successful operation, withdrawn one per retry.
+	// 0 disables the budget (unlimited retries, the seed behaviour).
+	RetryBudgetRatio float64
+	// RetryBudgetBurst is the budget's initial and maximum token balance.
+	RetryBudgetBurst float64
+	// HedgeAfter launches a speculative duplicate of a still-running task
+	// once it has been in flight this long (wms engine; first completion
+	// wins). 0 disables hedging.
+	HedgeAfter time.Duration
+	// HedgeMax caps the number of hedge copies launched per task attempt.
+	HedgeMax int
+
 	// ---- Placement (internal/sched policy selection) ----
 
 	// KubePlacementPolicy names the kube scheduler's placement policy:

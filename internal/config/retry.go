@@ -1,6 +1,7 @@
 package config
 
 import (
+	"math"
 	"time"
 
 	"repro/internal/sim"
@@ -38,6 +39,12 @@ func (rp RetryPolicy) Attempts() int {
 	return rp.MaxAttempts
 }
 
+// maxBackoff bounds an uncapped exponential schedule (MaxDelay 0) so the
+// float64 delay can never overflow time.Duration, even after jitter
+// inflates it by up to 2×. MaxInt64/4 nanoseconds ≈ 73 years — any real
+// schedule hits its MaxDelay or attempt budget long before this matters.
+const maxBackoff = float64(math.MaxInt64 / 4)
+
 // Backoff returns the delay to wait after the attempt-th failed try
 // (attempt counts from 1), with deterministic jitter drawn from rng. A nil
 // rng yields the unjittered delay.
@@ -45,18 +52,21 @@ func (rp RetryPolicy) Backoff(attempt int, rng *sim.RNG) time.Duration {
 	if rp.BaseDelay <= 0 {
 		return 0
 	}
+	cap := maxBackoff
+	if rp.MaxDelay > 0 && float64(rp.MaxDelay) < cap {
+		cap = float64(rp.MaxDelay)
+	}
 	d := float64(rp.BaseDelay)
 	if rp.Multiplier > 1 {
 		for i := 1; i < attempt; i++ {
 			d *= rp.Multiplier
-			if rp.MaxDelay > 0 && d >= float64(rp.MaxDelay) {
-				d = float64(rp.MaxDelay)
+			if d >= cap {
 				break
 			}
 		}
 	}
-	if rp.MaxDelay > 0 && d > float64(rp.MaxDelay) {
-		d = float64(rp.MaxDelay)
+	if d > cap {
+		d = cap
 	}
 	out := time.Duration(d)
 	if rng != nil && rp.JitterFrac > 0 {

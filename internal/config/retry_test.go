@@ -107,6 +107,101 @@ func TestRetryPolicyJitterDeterministic(t *testing.T) {
 	}
 }
 
+// TestRetryPolicyBackoffNoOverflow exercises the overflow hazard the first
+// version of Backoff had: with MaxDelay 0 and Multiplier > 1 the float
+// delay grows without bound, and at high attempt counts the float→Duration
+// conversion produced an undefined (negative) duration. The hardened
+// schedule must stay positive and finite for any attempt count, with and
+// without jitter.
+func TestRetryPolicyBackoffNoOverflow(t *testing.T) {
+	policies := []RetryPolicy{
+		{BaseDelay: time.Second, Multiplier: 2},                        // the hazard case
+		{BaseDelay: time.Hour, Multiplier: 10, JitterFrac: 0.5},        // fast growth, wide jitter
+		{BaseDelay: time.Second, Multiplier: 2, MaxDelay: 1<<63 - 1},   // absurd explicit cap
+		{BaseDelay: 1<<62 - 1, Multiplier: 1.5, JitterFrac: 0.9},       // base near the ceiling
+		{BaseDelay: time.Nanosecond, Multiplier: 1e9, JitterFrac: 0.1}, // extreme multiplier
+	}
+	rng := sim.NewRNG(3)
+	for pi, rp := range policies {
+		prev := time.Duration(0)
+		for _, attempt := range []int{1, 2, 5, 10, 50, 100, 1000, 1 << 20} {
+			got := rp.Backoff(attempt, nil)
+			if got <= 0 {
+				t.Fatalf("policy %d attempt %d: backoff %v not positive (overflow)", pi, attempt, got)
+			}
+			if got < prev {
+				t.Fatalf("policy %d attempt %d: backoff %v < previous %v (not monotone)", pi, attempt, got, prev)
+			}
+			prev = got
+			if j := rp.Backoff(attempt, rng); j <= 0 {
+				t.Fatalf("policy %d attempt %d: jittered backoff %v not positive (overflow)", pi, attempt, j)
+			}
+		}
+	}
+}
+
+// TestRetryPolicyBackoffMonotoneCapped asserts the property pair behind
+// every schedule: unjittered backoff is non-decreasing in the attempt
+// number, and once capped (by MaxDelay or the overflow ceiling) it stays
+// exactly at the cap.
+func TestRetryPolicyBackoffMonotoneCapped(t *testing.T) {
+	rng := sim.NewRNG(99)
+	for trial := 0; trial < 200; trial++ {
+		rp := RetryPolicy{
+			BaseDelay:  time.Duration(1 + rng.Intn(int(10*time.Second))),
+			Multiplier: 1 + 3*rng.Float64(),
+			JitterFrac: 0.5 * rng.Float64(),
+		}
+		if trial%2 == 0 {
+			rp.MaxDelay = rp.BaseDelay * time.Duration(1+rng.Intn(100))
+		}
+		prev := time.Duration(0)
+		capped := false
+		for attempt := 1; attempt <= 200; attempt++ {
+			got := rp.Backoff(attempt, nil)
+			if got < prev {
+				t.Fatalf("trial %d attempt %d: %v < %v (not monotone)", trial, attempt, got, prev)
+			}
+			if rp.MaxDelay > 0 && got > rp.MaxDelay {
+				t.Fatalf("trial %d attempt %d: %v exceeds MaxDelay %v", trial, attempt, got, rp.MaxDelay)
+			}
+			if capped && got != prev {
+				t.Fatalf("trial %d attempt %d: schedule moved off the cap (%v -> %v)", trial, attempt, prev, got)
+			}
+			if rp.MaxDelay > 0 && got == rp.MaxDelay {
+				capped = true
+			}
+			prev = got
+		}
+	}
+}
+
+// TestRetryPolicyJitterEnvelopeProperty is the property-style version of
+// the jitter bound: for random policies and attempts, every jittered draw
+// lies in U[1−f, 1+f) of the unjittered delay.
+func TestRetryPolicyJitterEnvelopeProperty(t *testing.T) {
+	rng := sim.NewRNG(7)
+	for trial := 0; trial < 100; trial++ {
+		rp := RetryPolicy{
+			BaseDelay:  time.Duration(1 + rng.Intn(int(time.Minute))),
+			MaxDelay:   time.Duration(rng.Intn(int(time.Hour))),
+			Multiplier: 1 + 2*rng.Float64(),
+			JitterFrac: rng.Float64() * 0.99,
+		}
+		attempt := 1 + rng.Intn(30)
+		base := rp.Backoff(attempt, nil)
+		lo := time.Duration(float64(base) * (1 - rp.JitterFrac))
+		hi := time.Duration(float64(base) * (1 + rp.JitterFrac))
+		for i := 0; i < 50; i++ {
+			got := rp.Backoff(attempt, rng)
+			if got < lo || got >= hi {
+				t.Fatalf("trial %d: jittered %v outside [%v, %v) (base %v, frac %v)",
+					trial, got, lo, hi, base, rp.JitterFrac)
+			}
+		}
+	}
+}
+
 // TestRetryPolicyDefaultsSchedule pins the unjittered backoff schedules of
 // the default wms task and knative invoke policies, including where the cap
 // takes over.

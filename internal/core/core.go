@@ -31,6 +31,7 @@ import (
 	"repro/internal/knative"
 	"repro/internal/kube"
 	"repro/internal/registry"
+	"repro/internal/resilience"
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/wms"
@@ -121,7 +122,20 @@ func NewStack(seed uint64, prm config.Params) *Stack {
 	env := sim.NewEnv(seed)
 	cl := cluster.New(env, prm)
 	reg := registry.New(cl.Net)
+	breakerPol := resilience.BreakerPolicy{
+		Failures:       prm.BreakerFailures,
+		OpenFor:        prm.BreakerOpenFor,
+		HalfOpenProbes: prm.BreakerHalfOpenProbes,
+	}
+	reg.Protect(breakerPol)
 	rts := crt.NewSet(env, cl, reg, prm)
+	var budget *resilience.RetryBudget
+	if prm.RetryBudgetRatio > 0 {
+		// One budget shared by image pulls and workflow resubmission:
+		// retries anywhere in the stack draw on the same earnings.
+		budget = resilience.NewRetryBudget(prm.RetryBudgetRatio, prm.RetryBudgetBurst)
+		rts.GateRetries(budget)
+	}
 	pool := condor.New(env, cl, prm)
 	pool.Start()
 	k := kube.New(env, cl, rts, prm)
@@ -146,17 +160,20 @@ func NewStack(seed uint64, prm config.Params) *Stack {
 		services: make(map[string]*knative.Service),
 	}
 	s.Engine = &wms.Engine{
-		Env:      env,
-		Cl:       cl,
-		Pool:     pool,
-		Runtimes: rts,
-		Reg:      reg,
-		Catalogs: cat,
-		Prm:      prm,
-		Retry:    prm.TaskRetry,
-		Services: s.resolve,
-		FS:       fs,
-		Store:    store,
+		Env:        env,
+		Cl:         cl,
+		Pool:       pool,
+		Runtimes:   rts,
+		Reg:        reg,
+		Catalogs:   cat,
+		Prm:        prm,
+		Retry:      prm.TaskRetry,
+		Services:   s.resolve,
+		FS:         fs,
+		Store:      store,
+		Budget:     budget,
+		HedgeAfter: prm.HedgeAfter,
+		HedgeMax:   prm.HedgeMax,
 	}
 	return s
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/fluid"
 	"repro/internal/registry"
+	"repro/internal/resilience"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -54,6 +55,7 @@ type Runtime struct {
 	nextID     int
 	loader     *fluid.Server // docker-load unpack bandwidth, shared per node
 	faults     *faults.Injector
+	budget     *resilience.RetryBudget // shared pull retry budget (nil = ungated)
 
 	createdTotal int
 	removedTotal int
@@ -92,6 +94,16 @@ func New(env *sim.Env, node *cluster.Node, reg *registry.Registry, params config
 func (set Set) AttachFaults(in *faults.Injector) {
 	for _, rt := range set {
 		rt.faults = in
+	}
+}
+
+// GateRetries shares one retry budget across every runtime in the set:
+// image-pull retries on any node draw from it and successful pulls deposit
+// back, so a registry incident cannot amplify into a cluster-wide pull
+// storm. A nil budget leaves retries ungated (the seed behaviour).
+func (set Set) GateRetries(b *resilience.RetryBudget) {
+	for _, rt := range set {
+		rt.budget = b
 	}
 }
 
@@ -139,9 +151,17 @@ func (rt *Runtime) PullImage(p *sim.Proc, name string) error {
 	for attempt := 1; attempt <= rp.Attempts(); attempt++ {
 		err = rt.reg.PullLayers(p, rt.node.Name, img, missing)
 		if err == nil {
+			rt.budget.OnSuccess()
 			break
 		}
 		if !faults.IsTransient(err) || attempt == rp.Attempts() {
+			break
+		}
+		if !rt.budget.TryRetry() {
+			// The shared pull budget is dry: failures across the cluster
+			// are outpacing successes, so stop retrying rather than pile
+			// onto a struggling registry.
+			err = fmt.Errorf("crt: %s: pull retry budget exhausted: %w", rt.node.Name, err)
 			break
 		}
 		p.Sleep(rp.Backoff(attempt, p.Rand()))

@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/knative"
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+	"repro/internal/resilience"
+	"repro/internal/sim"
+)
+
+// The overload experiment is not a paper figure: it measures how the stack
+// degrades when offered load exceeds capacity. A fixed-scale serverless
+// function (no autoscaler headroom) receives an open-loop Poisson arrival
+// stream ramped past saturation, under four cumulative protection arms:
+// none (the seed's unbounded ingress buffer), request deadlines, deadlines
+// plus retry budgets, and the full stack with activator admission control
+// (bounded waiting room + shed-on-estimated-wait) and circuit breakers.
+// Without protection the system goes metastable — the queue grows without
+// bound, every request is served long past its SLO, and goodput collapses —
+// while the full stack sheds the excess at the door and keeps goodput at
+// capacity.
+
+const (
+	// overloadPods fixes the service scale: MinScale = MaxScale, so capacity
+	// is a constant the offered rate can be expressed against.
+	overloadPods = 12
+	// overloadWork is the per-request service demand in core-seconds.
+	overloadWork = 0.25
+	// overloadSLO is the client's end-to-end latency objective; completions
+	// slower than this don't count as goodput.
+	overloadSLO = time.Second
+	// overloadDeadline is the propagated request deadline for the protected
+	// arms: the SLO minus headroom for one service time, so a request that
+	// passes the queue-proxy check still finishes inside the SLO.
+	overloadDeadline = 700 * time.Millisecond
+	// overloadDrain is how long after the arrival window closes the run
+	// keeps serving before shutdown cuts off stragglers.
+	overloadDrain = 3 * time.Second
+	// overloadClientAttempts bounds one client's tries (1 + retries).
+	overloadClientAttempts = 3
+	// overloadClientBackoff is the client's pause between tries.
+	overloadClientBackoff = 100 * time.Millisecond
+	// overloadHorizon bounds one run in virtual time.
+	overloadHorizon = 5 * time.Minute
+)
+
+// OverloadArm is a cumulative protection level.
+type OverloadArm int
+
+// The arms, each adding one mechanism over the previous.
+const (
+	// ArmNone is the seed behaviour: unbounded buffering, no deadlines.
+	ArmNone OverloadArm = iota
+	// ArmDeadlines propagates a per-request deadline enforced at admission,
+	// queue wake-ups, and the queue-proxy.
+	ArmDeadlines
+	// ArmBudgets adds token-bucket retry budgets on both the client and the
+	// serving layer, capping retry amplification.
+	ArmBudgets
+	// ArmFull adds activator admission control (bounded waiting room,
+	// shed-on-estimated-wait) and per-service circuit breakers.
+	ArmFull
+)
+
+func (a OverloadArm) String() string {
+	switch a {
+	case ArmNone:
+		return "none"
+	case ArmDeadlines:
+		return "deadlines"
+	case ArmBudgets:
+		return "+budgets"
+	case ArmFull:
+		return "full"
+	default:
+		return fmt.Sprintf("OverloadArm(%d)", int(a))
+	}
+}
+
+var overloadArms = []OverloadArm{ArmNone, ArmDeadlines, ArmBudgets, ArmFull}
+
+// overloadParams applies an arm's protection knobs to the base parameters.
+func overloadParams(prm config.Params, arm OverloadArm) config.Params {
+	if arm >= ArmDeadlines {
+		prm.InvokeDeadline = overloadDeadline
+	}
+	if arm >= ArmBudgets {
+		prm.RetryBudgetRatio = 0.1
+		prm.RetryBudgetBurst = 10
+	}
+	if arm >= ArmFull {
+		prm.ActivatorQueueCap = 2 * overloadPods
+		prm.BreakerFailures = 5
+		prm.BreakerOpenFor = 10 * time.Second
+		prm.BreakerHalfOpenProbes = 1
+	}
+	return prm
+}
+
+// OverloadCapacity returns the fixed-scale service's saturation throughput
+// in requests/s: every request holds one of the overloadPods serving slots
+// for its work plus the queue-proxy overhead.
+func OverloadCapacity(prm config.Params) float64 {
+	perSlot := overloadWork + prm.QueueProxyOverhead.Seconds()
+	return float64(overloadPods) / perSlot
+}
+
+// OverloadRun is one seeded run at one (arm, rate) point.
+type OverloadRun struct {
+	// Arrivals is how many requests the open-loop generator issued.
+	Arrivals int
+	// Completed / Good count successful completions (any latency / within
+	// the SLO); Failed counts clients that gave up.
+	Completed, Good, Failed int
+	// ServerRequests is the serving layer's attempt counter, including
+	// platform-internal retries — the numerator of retry amplification.
+	ServerRequests int
+	// Shed / DeadlineDrops / FastFails are the service's protection
+	// counters (admission sheds, deadline enforcement, breaker denials).
+	Shed, DeadlineDrops, FastFails int
+	// P99Sec is the 99th-percentile latency over successful completions.
+	P99Sec float64
+	// CapacityRPS is the analytic saturation throughput.
+	CapacityRPS float64
+	// WindowSec is the measurement window the goodput is divided by.
+	WindowSec float64
+}
+
+// GoodputRPS is the rate of within-SLO completions over the arrival window.
+func (r OverloadRun) GoodputRPS() float64 {
+	if r.WindowSec <= 0 {
+		return 0
+	}
+	return float64(r.Good) / r.WindowSec
+}
+
+// OverloadOnce executes one seeded open-loop run: Poisson arrivals at
+// mult × capacity for the window, each arrival a client that invokes the
+// function, retries failures (bounded, and budget-gated in the budget arms)
+// while its SLO patience lasts, and records whether it completed in time.
+func OverloadOnce(seed uint64, prm config.Params, arm OverloadArm, mult float64, quick bool) OverloadRun {
+	prm = overloadParams(prm, arm)
+	window := 20 * time.Second
+	if quick {
+		window = 6 * time.Second
+	}
+	s := core.NewStack(seed, prm)
+
+	out := OverloadRun{CapacityRPS: OverloadCapacity(prm), WindowSec: window.Seconds()}
+	lambda := mult * out.CapacityRPS
+	var clientBudget *resilience.RetryBudget
+	if arm >= ArmBudgets {
+		clientBudget = resilience.NewRetryBudget(prm.RetryBudgetRatio, prm.RetryBudgetBurst)
+	}
+	var latencies []float64
+
+	s.Env.Go("main", func(p *sim.Proc) {
+		s.RegisterTransformation("matmul", prm.ImageLayersBytes[len(prm.ImageLayersBytes)-1])
+		policy := core.DeployPolicy{
+			MinScale:             overloadPods,
+			InitialScale:         overloadPods,
+			MaxScale:             overloadPods,
+			ContainerConcurrency: 1,
+			PrePullAllNodes:      true,
+			CapCores:             1,
+		}
+		if err := s.DeployFunction(p, "matmul", policy); err != nil {
+			panic(err)
+		}
+		svc, _ := s.Service("matmul")
+
+		wg := sim.NewWaitGroup(s.Env)
+		rng := p.Rand()
+		end := p.Now() + window
+		for {
+			gap := time.Duration(rng.ExpFloat64() / lambda * float64(time.Second))
+			if p.Now()+gap >= end {
+				break
+			}
+			p.Sleep(gap)
+			out.Arrivals++
+			wg.Add(1)
+			name := fmt.Sprintf("client-%06d", out.Arrivals)
+			s.Env.Go(name, func(cp *sim.Proc) {
+				defer wg.Done()
+				start := cp.Now()
+				for attempt := 1; ; attempt++ {
+					_, err := svc.Invoke(cp, knative.Request{
+						From: cluster.SubmitNodeName,
+						Work: overloadWork,
+					})
+					if err == nil {
+						lat := cp.Now() - start
+						out.Completed++
+						latencies = append(latencies, lat.Seconds())
+						if lat <= overloadSLO {
+							out.Good++
+						}
+						clientBudget.OnSuccess()
+						return
+					}
+					// Give up when patience (the SLO) has run out, the
+					// attempt cap is hit, or the budget denies the retry.
+					if cp.Now()-start >= overloadSLO || attempt >= overloadClientAttempts || !clientBudget.TryRetry() {
+						out.Failed++
+						return
+					}
+					cp.Sleep(cp.Rand().Jitter(overloadClientBackoff, 0.5))
+				}
+			})
+		}
+		if until := end + overloadDrain; p.Now() < until {
+			p.Sleep(until - p.Now())
+		}
+		s.Shutdown()
+		wg.Wait(p)
+
+		out.ServerRequests = svc.Requests
+		ov := svc.Overload()
+		out.Shed = ov.ShedFull + ov.ShedWait
+		out.DeadlineDrops = ov.DeadlineDrops
+		out.FastFails = ov.BreakerFastFails
+	})
+	s.Env.RunUntil(overloadHorizon)
+
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		idx := (len(latencies)*99 + 99) / 100
+		if idx > len(latencies) {
+			idx = len(latencies)
+		}
+		out.P99Sec = latencies[idx-1]
+	}
+	return out
+}
+
+// OverloadRow aggregates the repetitions at one (arm, rate) point.
+type OverloadRow struct {
+	Arm  OverloadArm
+	Mult float64
+	// OfferedRPS is the arrival rate; GoodputRPS / GoodputFrac are within-
+	// SLO completions per second, absolute and as a fraction of capacity.
+	OfferedRPS   float64
+	GoodputRPS   float64
+	GoodputFrac  float64
+	P99Sec       float64
+	ShedFrac     float64 // admission sheds per arrival
+	DeadlineFrac float64 // deadline drops per arrival
+	// Amplification is serving-layer attempts per arrival: >1 means retries
+	// multiplied the offered load inside the platform.
+	Amplification float64
+}
+
+// OverloadResult is the protection-arm × offered-rate study.
+type OverloadResult struct {
+	CapacityRPS float64
+	Rows        []OverloadRow
+}
+
+// Overload sweeps offered load from saturation to far past it for each
+// protection arm. Every (arm, rate, rep) triple is an independent seeded
+// simulation fanned across the pool.
+func Overload(o Options) OverloadResult {
+	mults := []float64{1, 2, 5, 8}
+	if o.Quick {
+		mults = []float64{1, 5}
+	}
+	arms := overloadArms
+	runs := parallel.Run(len(arms)*len(mults)*o.Reps, o.Workers, func(i int) OverloadRun {
+		rest := i
+		a := rest / (len(mults) * o.Reps)
+		rest %= len(mults) * o.Reps
+		m, r := rest/o.Reps, rest%o.Reps
+		return OverloadOnce(o.Seed+uint64(r), o.Prm, arms[a], mults[m], o.Quick)
+	})
+
+	res := OverloadResult{CapacityRPS: OverloadCapacity(o.Prm)}
+	for ai, arm := range arms {
+		for mi, mult := range mults {
+			row := OverloadRow{Arm: arm, Mult: mult, OfferedRPS: mult * res.CapacityRPS}
+			var good, p99, shed, ddl, amp metrics.Welford
+			for r := 0; r < o.Reps; r++ {
+				run := runs[ai*len(mults)*o.Reps+mi*o.Reps+r]
+				good.Add(run.GoodputRPS())
+				p99.Add(run.P99Sec)
+				if run.Arrivals > 0 {
+					shed.Add(float64(run.Shed) / float64(run.Arrivals))
+					ddl.Add(float64(run.DeadlineDrops) / float64(run.Arrivals))
+					amp.Add(float64(run.ServerRequests) / float64(run.Arrivals))
+				}
+			}
+			row.GoodputRPS = good.Mean()
+			row.GoodputFrac = row.GoodputRPS / res.CapacityRPS
+			row.P99Sec = p99.Mean()
+			row.ShedFrac = shed.Mean()
+			row.DeadlineFrac = ddl.Mean()
+			row.Amplification = amp.Mean()
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res
+}
+
+// WriteTable renders the overload study.
+func (r OverloadResult) WriteTable(w io.Writer) error {
+	tbl := metrics.NewTable("protection", "offered_x", "offered_rps", "goodput_rps", "goodput_frac", "p99_s", "shed/arr", "ddl/arr", "amplification")
+	for _, row := range r.Rows {
+		tbl.AddRow(row.Arm.String(), fmt.Sprintf("%.0fx", row.Mult), row.OfferedRPS,
+			row.GoodputRPS, row.GoodputFrac, row.P99Sec, row.ShedFrac, row.DeadlineFrac, row.Amplification)
+	}
+	if err := tbl.Write(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "\noverload (robustness): open-loop Poisson arrivals into a fixed-scale\nfunction (%d pods, capacity %.1f req/s, SLO %s) under cumulative protections;\nwithout them the queue grows without bound and goodput collapses past\nsaturation, while deadlines + retry budgets + admission control + breakers\nshed the excess and hold goodput at capacity\n",
+		overloadPods, r.CapacityRPS, overloadSLO)
+	return err
+}

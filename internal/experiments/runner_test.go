@@ -34,6 +34,7 @@ func TestWorkerCountInvariance(t *testing.T) {
 		{"Redirection", func(o Options) any { return Redirection(o) }},
 		{"Isolation", func(o Options) any { return Isolation(o) }},
 		{"Placement", func(o Options) any { return Placement(o) }},
+		{"Overload", func(o Options) any { return Overload(o) }},
 	}
 	for _, c := range cases {
 		c := c

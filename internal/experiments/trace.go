@@ -29,6 +29,34 @@ type TraceCapture struct {
 	Tracer *trace.Tracer
 	Path   *trace.CriticalPath
 	Result *wms.RunResult
+	// Protected marks the overload-protection capture (serverless under
+	// incidents with the full protection stack on).
+	Protected bool
+}
+
+// Label names the capture in rendered output.
+func (c *TraceCapture) Label() string {
+	if c.Protected {
+		return c.Mode.String() + "+protections"
+	}
+	return c.Mode.String()
+}
+
+// ProtectionSpans counts the overload-protection spans in the capture:
+// admission sheds, breaker transitions/fast-fails (knative and registry),
+// and speculative hedge launches.
+func (c *TraceCapture) ProtectionSpans() (shed, breaker, hedge int) {
+	for _, sp := range c.Tracer.Spans() {
+		switch sp.Name() {
+		case "shed":
+			shed++
+		case "breaker":
+			breaker++
+		case "hedge":
+			hedge++
+		}
+	}
+	return
 }
 
 // TraceOnce runs the Montage workflow once in the given mode with span
@@ -84,19 +112,92 @@ func TraceOnce(seed uint64, prm config.Params, mode wms.Mode, quick, chaos bool)
 	return out, nil
 }
 
+// TraceProtectedOnce runs Montage in serverless mode under a registry
+// incident schedule with the full overload-protection stack enabled and a
+// deliberately tight serving configuration (one replica, per-request
+// concurrency, a two-seat activator waiting room), so the exported trace
+// carries the protection spans the analyzer attributes degradation to:
+// admission sheds on the tile fan-out, registry breaker transitions under
+// injected pull errors, and speculative hedges for tasks stalled behind the
+// brownout. Retry allowances are raised so the run still completes — the
+// point is a trace of graceful degradation, not an abort.
+func TraceProtectedOnce(seed uint64, prm config.Params, quick bool) (*TraceCapture, error) {
+	tiles := 8
+	if quick {
+		tiles = 4
+	}
+	prm.ActivatorQueueCap = 2
+	prm.BreakerFailures = 2
+	prm.BreakerOpenFor = 20 * time.Second
+	prm.BreakerHalfOpenProbes = 1
+	prm.RetryBudgetRatio = 0.5
+	prm.RetryBudgetBurst = 20
+	prm.HedgeAfter = 25 * time.Second
+	prm.HedgeMax = 1
+	prm.TaskRetry.MaxAttempts = 8
+	s := core.NewStack(seed, prm)
+	tr := trace.New(s.Env)
+	in := s.EnableFaults()
+	in.Schedule(faults.Fault{Kind: faults.KindRegistryBrownout, At: 5 * time.Second, Duration: 90 * time.Second, Target: cluster.RegistryNodeName, Rate: 16})
+	in.Schedule(faults.Fault{Kind: faults.KindRegistryError, At: 5 * time.Second, Duration: 40 * time.Second, Rate: 1})
+	out := &TraceCapture{Mode: wms.ModeServerless, Tracer: tr, Protected: true}
+	var runErr error
+	s.Env.Go("main", func(p *sim.Proc) {
+		defer s.Shutdown()
+		wf := workload.Montage("mosaic", tiles, 4<<20)
+		// Scale-from-zero: image download is deferred to first invocation,
+		// so the cold-start pulls run into the registry incidents and the
+		// tile fan-out buffers in the bounded activator waiting room.
+		policy := core.DeployPolicy{
+			MaxScale:             1,
+			ContainerConcurrency: 1,
+			CapCores:             1,
+		}
+		if err := s.AutoIntegrate(p, wf, policy); err != nil {
+			runErr = err
+			return
+		}
+		res, err := s.Engine.RunWorkflow(p, wf, wms.AssignAll(wms.ModeServerless))
+		if err != nil {
+			runErr = err
+			return
+		}
+		out.Result = res
+		cp, err := trace.Analyze(tr, wf, "mosaic")
+		if err != nil {
+			runErr = err
+			return
+		}
+		out.Path = cp
+	})
+	s.Env.Run()
+	if runErr != nil {
+		return nil, runErr
+	}
+	return out, nil
+}
+
 // TraceResult is the per-mode traced-run study.
 type TraceResult struct {
 	Rows []*TraceCapture
 }
 
 // Trace runs Montage once per execution mode (single run at the base seed —
-// the point is one trace, not an average) and analyzes each critical path.
-// The three modes are independent simulations, so they run on the pool;
-// rows keep the fixed mode order regardless of which finishes first.
+// the point is one trace, not an average) and analyzes each critical path,
+// plus a fourth protected capture that exercises the overload-protection
+// stack under registry incidents. The captures are independent simulations,
+// so they run on the pool; rows keep the fixed order regardless of which
+// finishes first.
 func Trace(o Options) TraceResult {
 	modes := []wms.Mode{wms.ModeNative, wms.ModeContainer, wms.ModeServerless}
-	rows := parallel.Run(len(modes), o.Workers, func(i int) *TraceCapture {
-		tc, err := TraceOnce(o.Seed, o.Prm, modes[i], o.Quick, false)
+	rows := parallel.Run(len(modes)+1, o.Workers, func(i int) *TraceCapture {
+		var tc *TraceCapture
+		var err error
+		if i < len(modes) {
+			tc, err = TraceOnce(o.Seed, o.Prm, modes[i], o.Quick, false)
+		} else {
+			tc, err = TraceProtectedOnce(o.Seed, o.Prm, o.Quick)
+		}
 		if err != nil {
 			panic(err)
 		}
@@ -110,7 +211,7 @@ func Trace(o Options) TraceResult {
 func (r TraceResult) WriteTable(w io.Writer) error {
 	for _, c := range r.Rows {
 		fmt.Fprintf(w, "-- mode %s: %d spans, critical path of %d steps --\n",
-			c.Mode, c.Tracer.Len(), len(c.Path.Steps))
+			c.Label(), c.Tracer.Len(), len(c.Path.Steps))
 		if err := c.Path.Table().Write(w); err != nil {
 			return err
 		}
@@ -118,9 +219,11 @@ func (r TraceResult) WriteTable(w io.Writer) error {
 		if err := c.Path.StepsTable().Write(w); err != nil {
 			return err
 		}
+		shed, breaker, hedge := c.ProtectionSpans()
+		fmt.Fprintf(w, "protection spans: shed=%d breaker=%d hedge=%d\n", shed, breaker, hedge)
 		fmt.Fprintf(w, "reconciliation: stage sum %.3f s, makespan %.3f s (wms result %.3f s)\n\n",
 			c.Path.StageSum().Seconds(), c.Path.Makespan.Seconds(), c.Result.Makespan().Seconds())
 	}
-	_, err := fmt.Fprintf(w, "critical-path accounting: per-stage self times over the longest dependency\nchain; idle is inter-step slack, dagman-poll is completion→observation lag,\nretry-wait is backoff between attempts; buckets sum to the makespan exactly\n")
+	_, err := fmt.Fprintf(w, "critical-path accounting: per-stage self times over the longest dependency\nchain; idle is inter-step slack, dagman-poll is completion→observation lag,\nretry-wait is backoff between attempts; buckets sum to the makespan exactly;\nprotection spans count admission sheds, breaker activity, and hedge launches\n")
 	return err
 }

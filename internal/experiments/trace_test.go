@@ -34,6 +34,36 @@ func TestDeterministicGoldenTrace(t *testing.T) {
 	}
 }
 
+// TestTraceProtectedCapture asserts the overload-protection acceptance
+// criterion for the trace study: the protected capture's run completes, its
+// trace carries all three protection span families (admission sheds,
+// breaker activity, hedge launches) for the analyzer to attribute, and the
+// export is byte-deterministic.
+func TestTraceProtectedCapture(t *testing.T) {
+	o := QuickOptions()
+	tc, err := TraceProtectedOnce(o.Seed, o.Prm, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shed, breaker, hedge := tc.ProtectionSpans()
+	if shed == 0 || breaker == 0 || hedge == 0 {
+		t.Errorf("protection spans shed=%d breaker=%d hedge=%d, want all > 0", shed, breaker, hedge)
+	}
+	if tc.Path == nil || len(tc.Path.Steps) == 0 {
+		t.Fatal("protected capture has no critical path")
+	}
+	// Reconciliation must survive concurrency: hedge copies overlap their
+	// primaries, and the analyzer counts exactly one chain per attempt.
+	if tc.Path.StageSum() != tc.Path.Makespan {
+		t.Errorf("protected capture: stage sum %v != makespan %v", tc.Path.StageSum(), tc.Path.Makespan)
+	}
+	tc2, err := TraceProtectedOnce(o.Seed, o.Prm, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracetest.AssertSameTrace(t, tc.Tracer.ChromeBytes(), tc2.Tracer.ChromeBytes())
+}
+
 // TestTraceReconciliation asserts the acceptance criterion: for every
 // execution mode, the critical path's per-stage sums equal the reported
 // makespan exactly, and the workflow span matches the wms result.

@@ -9,14 +9,17 @@ package httpfn
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/matrix"
+	"repro/internal/resilience"
 )
 
 // Server wraps the matmul task in an HTTP event listener.
@@ -112,13 +115,30 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// HTTPError is a non-200 response from a function server, preserved with
+// its status code so callers (the balancer's breakers) can tell backend
+// failures (5xx) from caller mistakes (4xx).
+type HTTPError struct {
+	StatusCode int
+	Status     string
+	Msg        string
+}
+
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("httpfn: %s: %s", e.Status, e.Msg)
+}
+
 // Client invokes function servers.
 type Client struct {
 	HTTP http.Client
+	// Timeout bounds one invocation end to end — request write through
+	// response decode — the live counterpart of the simulation's request
+	// deadline. 0 means no deadline.
+	Timeout time.Duration
 }
 
 // Invoke POSTs both operands by value to base/invoke and decodes the
-// product from the response.
+// product from the response. Non-200 responses surface as *HTTPError.
 func (c *Client) Invoke(base string, a, b *matrix.Matrix) (*matrix.Matrix, error) {
 	var body bytes.Buffer
 	if _, err := a.WriteTo(&body); err != nil {
@@ -127,14 +147,29 @@ func (c *Client) Invoke(base string, a, b *matrix.Matrix) (*matrix.Matrix, error
 	if _, err := b.WriteTo(&body); err != nil {
 		return nil, err
 	}
-	resp, err := c.HTTP.Post(base+"/invoke", "application/octet-stream", &body)
+	ctx := context.Background()
+	cancel := func() {}
+	if c.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+	}
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/invoke", &body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, fmt.Errorf("httpfn: %s: %s", resp.Status, bytes.TrimSpace(msg))
+		return nil, &HTTPError{
+			StatusCode: resp.StatusCode,
+			Status:     resp.Status,
+			Msg:        string(bytes.TrimSpace(msg)),
+		}
 	}
 	return matrix.ReadFrom(resp.Body)
 }
@@ -151,11 +186,16 @@ func (c *Client) Healthy(base string) bool {
 }
 
 // Balancer round-robins invocations over a set of function replicas — the
-// live stand-in for the serverless router.
+// live stand-in for the serverless router. Protect installs an independent
+// circuit breaker per backend; an open backend is skipped in the rotation.
 type Balancer struct {
 	client Client
 	bases  []string
 	next   atomic.Uint64
+
+	mu       sync.Mutex
+	breakers []*resilience.Breaker
+	epoch    time.Time
 }
 
 // NewBalancer returns a balancer over the given base URLs.
@@ -166,9 +206,65 @@ func NewBalancer(bases ...string) *Balancer {
 	return &Balancer{bases: append([]string(nil), bases...)}
 }
 
-// Invoke forwards to the next replica in round-robin order.
+// SetTimeout configures the per-invocation timeout of the balancer's
+// underlying client.
+func (lb *Balancer) SetTimeout(d time.Duration) { lb.client.Timeout = d }
+
+// Protect installs one circuit breaker per backend. The breakers are the
+// same deterministic state machines the simulation uses, driven here by
+// wall-clock time since installation.
+func (lb *Balancer) Protect(pol resilience.BreakerPolicy) {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	lb.epoch = time.Now()
+	lb.breakers = make([]*resilience.Breaker, len(lb.bases))
+	for i := range lb.breakers {
+		lb.breakers[i] = resilience.NewBreaker(pol)
+	}
+}
+
+func (lb *Balancer) allow(i int) bool {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	if lb.breakers == nil {
+		return true
+	}
+	return lb.breakers[i].Allow(time.Since(lb.epoch))
+}
+
+func (lb *Balancer) report(i int, err error) {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	if lb.breakers == nil {
+		return
+	}
+	b, now := lb.breakers[i], time.Since(lb.epoch)
+	var he *HTTPError
+	switch {
+	case err == nil:
+		b.OnSuccess(now)
+	case errors.As(err, &he) && he.StatusCode < 500:
+		// Caller mistake (4xx): no verdict on backend health.
+		b.OnDrop(now)
+	default:
+		b.OnFailure(now)
+	}
+}
+
+// Invoke forwards to the next replica in round-robin order, skipping
+// backends whose breaker is open. When every backend is open it fails fast
+// with ErrCircuitOpen instead of piling onto saturated replicas.
 func (lb *Balancer) Invoke(a, b *matrix.Matrix) (*matrix.Matrix, error) {
-	i := lb.next.Add(1) - 1
-	base := lb.bases[i%uint64(len(lb.bases))]
-	return lb.client.Invoke(base, a, b)
+	n := uint64(len(lb.bases))
+	start := lb.next.Add(1) - 1
+	for k := uint64(0); k < n; k++ {
+		i := int((start + k) % n)
+		if !lb.allow(i) {
+			continue
+		}
+		out, err := lb.client.Invoke(lb.bases[i], a, b)
+		lb.report(i, err)
+		return out, err
+	}
+	return nil, fmt.Errorf("httpfn: all %d backends: %w", n, resilience.ErrCircuitOpen)
 }

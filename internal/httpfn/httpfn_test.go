@@ -1,12 +1,15 @@
 package httpfn
 
 import (
+	"errors"
+	"net"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/matrix"
+	"repro/internal/resilience"
 	"repro/internal/sim"
 )
 
@@ -150,5 +153,80 @@ func TestGetInvokeRejected(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != 405 {
 		t.Errorf("GET /invoke = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestClientTimeout(t *testing.T) {
+	// A listener that accepts and never responds: the client's deadline
+	// must fire instead of hanging the invocation forever.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+	c := Client{Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	_, err = c.Invoke("http://"+lis.Addr().String(), randMat(1, 4), randMat(2, 4))
+	if err == nil {
+		t.Fatal("invocation of a hung backend succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v, configured 50ms", elapsed)
+	}
+}
+
+func TestBalancerBreakerSkipsDeadBackend(t *testing.T) {
+	_, live := startServer(t, 0)
+	// A dead backend: bind a port and close it so connections are refused.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://" + lis.Addr().String()
+	lis.Close()
+
+	lb := NewBalancer(dead, live)
+	lb.Protect(resilience.BreakerPolicy{Failures: 1, OpenFor: time.Hour})
+	a, b := randMat(3, 8), randMat(4, 8)
+
+	failures := 0
+	for i := 0; i < 6; i++ {
+		if _, err := lb.Invoke(a, b); err != nil {
+			failures++
+		}
+	}
+	// The first hit on the dead backend fails and trips its breaker; every
+	// later rotation skips it and lands on the live one.
+	if failures != 1 {
+		t.Fatalf("failures = %d, want exactly 1 (breaker should absorb the rest)", failures)
+	}
+}
+
+func TestBalancerAllOpenFailsFast(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://" + lis.Addr().String()
+	lis.Close()
+
+	lb := NewBalancer(dead)
+	lb.Protect(resilience.BreakerPolicy{Failures: 1, OpenFor: time.Hour})
+	a, b := randMat(5, 4), randMat(6, 4)
+	if _, err := lb.Invoke(a, b); err == nil {
+		t.Fatal("dead backend invocation succeeded")
+	}
+	_, err = lb.Invoke(a, b)
+	if !errors.Is(err, resilience.ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
 	}
 }

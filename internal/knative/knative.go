@@ -13,6 +13,7 @@
 package knative
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strconv"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/faults"
 	"repro/internal/kube"
+	"repro/internal/resilience"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -108,6 +110,14 @@ type Request struct {
 	// StageOut, if set, runs on the serving node after the task body —
 	// e.g. writing outputs back to the shared filesystem.
 	StageOut func(p *sim.Proc, node string) error
+	// Deadline is the request's absolute virtual-time deadline. It
+	// propagates with the request and is enforced at activator admission,
+	// at every queue wake-up, and at the queue-proxy just before
+	// execution; a request past it is dropped with ErrDeadlineExceeded
+	// rather than allowed to consume capacity producing an answer nobody
+	// is waiting for. 0 means no deadline; when Params.InvokeDeadline is
+	// set, Invoke stamps absent deadlines on entry.
+	Deadline time.Duration
 }
 
 // Response reports how an invocation was served.
@@ -157,9 +167,40 @@ type Service struct {
 	readySig *sim.Signal
 	stopped  bool
 
+	// Overload protection (nil members = disabled, the seed behaviour).
+	breaker   *resilience.Breaker
+	admission *resilience.Admission
+	ewma      time.Duration // EWMA of observed per-slot service time
+
 	// Stats for experiments.
-	ColdStarts int
-	Requests   int
+	ColdStarts    int
+	Requests      int
+	DeadlineDrops int
+}
+
+// OverloadStats are the per-service overload-protection counters.
+type OverloadStats struct {
+	// ShedFull / ShedWait are activator sheds: waiting room full, and
+	// estimated wait exceeding the request's remaining deadline.
+	ShedFull, ShedWait int
+	// DeadlineDrops counts requests dropped past their deadline after
+	// admission (queue wake-up or queue-proxy checks).
+	DeadlineDrops int
+	// BreakerTrips / BreakerFastFails are circuit-breaker transitions to
+	// open and requests denied without reaching the service.
+	BreakerTrips, BreakerFastFails int
+}
+
+// Overload returns the service's protection counters.
+func (s *Service) Overload() OverloadStats {
+	full, wait := s.admission.Shed()
+	return OverloadStats{
+		ShedFull:         full,
+		ShedWait:         wait,
+		DeadlineDrops:    s.DeadlineDrops,
+		BreakerTrips:     s.breaker.Trips(),
+		BreakerFastFails: s.breaker.FastFails(),
+	}
 }
 
 // Knative is the serving control plane.
@@ -172,13 +213,27 @@ type Knative struct {
 	services []*Service
 	byName   map[string]*Service
 	brokers  []*Broker
+
+	// budget is the serving layer's shared retry budget: invoke retries
+	// across every service draw from one bucket, so a single failing
+	// service cannot amplify into a platform-wide retry storm. Nil when
+	// Params.RetryBudgetRatio is 0 (unlimited retries, seed behaviour).
+	budget *resilience.RetryBudget
 }
 
 // New builds a serving layer over the given kube control plane (which must
 // be started).
 func New(env *sim.Env, cl *cluster.Cluster, k *kube.Kube, prm config.Params) *Knative {
-	return &Knative{env: env, cl: cl, k: k, prm: prm, byName: make(map[string]*Service)}
+	kn := &Knative{env: env, cl: cl, k: k, prm: prm, byName: make(map[string]*Service)}
+	if prm.RetryBudgetRatio > 0 {
+		kn.budget = resilience.NewRetryBudget(prm.RetryBudgetRatio, prm.RetryBudgetBurst)
+	}
+	return kn
 }
+
+// RetryBudget exposes the serving layer's shared invoke retry budget (nil
+// when disabled) for experiment-level amplification accounting.
+func (kn *Knative) RetryBudget() *resilience.RetryBudget { return kn.budget }
 
 // Deploy registers a service and blocks until its initial replicas (if any)
 // are ready — task registration happens before workflow execution (§IV-1).
@@ -191,6 +246,12 @@ func (kn *Knative) Deploy(p *sim.Proc, spec ServiceSpec) (*Service, error) {
 	}
 	svc := &Service{kn: kn, spec: spec, readySig: sim.NewSignal(kn.env)}
 	svc.route = svc.routePolicy()
+	svc.breaker = resilience.NewBreaker(resilience.BreakerPolicy{
+		Failures:       kn.prm.BreakerFailures,
+		OpenFor:        kn.prm.BreakerOpenFor,
+		HalfOpenProbes: kn.prm.BreakerHalfOpenProbes,
+	})
+	svc.admission = resilience.NewAdmission(kn.prm.ActivatorQueueCap)
 	kn.services = append(kn.services, svc)
 	kn.byName[spec.Name] = svc
 
@@ -358,12 +419,49 @@ func (s *Service) removeHandle(h *podHandle) {
 // are retried through the full path under the InvokeRetry policy, with
 // exponential backoff between attempts; application-level (staging) errors
 // surface to the caller unretried.
+//
+// With overload protection configured, Invoke additionally: stamps a
+// default deadline from Params.InvokeDeadline, fast-fails when the
+// service's circuit breaker is open (ErrCircuitOpen, not retried), feeds
+// the breaker with backend verdicts, and gates every retry through the
+// serving layer's shared retry budget — an exhausted budget surfaces the
+// last backend error instead of re-amplifying it.
 func (s *Service) Invoke(p *sim.Proc, req Request) (Response, error) {
-	rp := s.kn.prm.InvokeRetry
+	prm := s.kn.prm
+	if req.Deadline == 0 && prm.InvokeDeadline > 0 {
+		req.Deadline = p.Now() + prm.InvokeDeadline
+	}
+	rp := prm.InvokeRetry
 	for attempt := 1; ; attempt++ {
+		now := p.Now()
+		if !s.breaker.Allow(now) {
+			br := trace.Start(p, "knative", "breaker",
+				trace.L("service", s.spec.Name),
+				trace.L("state", s.breaker.State(now).String()))
+			br.End()
+			return Response{}, fmt.Errorf("knative: service %s: %w", s.spec.Name, resilience.ErrCircuitOpen)
+		}
 		resp, err, retryable := s.invokeOnce(p, req, attempt)
-		if err == nil || !retryable || attempt >= rp.Attempts() {
+		now = p.Now()
+		switch {
+		case err == nil:
+			s.breaker.OnSuccess(now)
+			s.kn.budget.OnSuccess()
+			return resp, nil
+		case retryable:
+			// Backend failure (replica death): the breaker's signal.
+			s.breaker.OnFailure(now)
+		default:
+			// Shed, deadline drop, or application error: no verdict on
+			// backend health — return a claimed half-open probe slot.
+			s.breaker.OnDrop(now)
 			return resp, err
+		}
+		if attempt >= rp.Attempts() {
+			return resp, err
+		}
+		if !s.kn.budget.TryRetry() {
+			return resp, fmt.Errorf("knative: service %s: retry budget exhausted: %w", s.spec.Name, err)
 		}
 		bo := trace.Start(p, "knative", "backoff",
 			trace.L("service", s.spec.Name), trace.L("attempt", strconv.Itoa(attempt)))
@@ -380,8 +478,6 @@ func (s *Service) invokeOnce(p *sim.Proc, req Request, attempt int) (Response, e
 		return Response{}, fmt.Errorf("knative: service %s is shut down", s.spec.Name), false
 	}
 	s.Requests++
-	s.inFlight++
-	defer func() { s.inFlight-- }()
 
 	tr := trace.FromEnv(s.kn.env)
 	sp := tr.StartCurrent("knative", "invoke",
@@ -392,6 +488,36 @@ func (s *Service) invokeOnce(p *sim.Proc, req Request, attempt int) (Response, e
 	kn := s.kn
 	// Ingress hop: client → route.
 	kn.cl.Net.Message(p, req.From, cluster.SubmitNodeName)
+
+	// Activator admission: a bounded waiting room replaces the unbounded
+	// ingress buffer. Requests already past their deadline, arriving to a
+	// full room, or facing an estimated wait longer than their remaining
+	// budget are shed at the door — before they consume queue space or
+	// pod capacity.
+	remaining := resilience.Remaining(req.Deadline, p.Now())
+	if req.Deadline > 0 && remaining <= 0 {
+		s.DeadlineDrops++
+		sp.SetLabel("status", "deadline")
+		return Response{}, fmt.Errorf("knative: service %s: %w at admission", s.spec.Name, resilience.ErrDeadlineExceeded), false
+	}
+	if err := s.admission.TryEnter(s.estimateWait(), remaining); err != nil {
+		shed := tr.Start(sp, "knative", "shed",
+			trace.L("service", s.spec.Name), trace.L("reason", shedReason(err)))
+		shed.End()
+		sp.SetLabel("status", "shed")
+		return Response{}, fmt.Errorf("knative: service %s: %w", s.spec.Name, err), false
+	}
+	admitted := true
+	exitAdmission := func() {
+		if admitted {
+			s.admission.Exit()
+			admitted = false
+		}
+	}
+	defer exitAdmission()
+
+	s.inFlight++
+	defer func() { s.inFlight-- }()
 
 	cold := false
 	if s.ReadyPods() == 0 {
@@ -408,6 +534,12 @@ func (s *Service) invokeOnce(p *sim.Proc, req Request, attempt int) (Response, e
 				sp.SetLabel("status", "failed")
 				return Response{}, fmt.Errorf("knative: service %s shut down while queued", s.spec.Name), false
 			}
+			if resilience.Expired(req.Deadline, p.Now()) {
+				cs.End()
+				s.DeadlineDrops++
+				sp.SetLabel("status", "deadline")
+				return Response{}, fmt.Errorf("knative: service %s: %w during cold start", s.spec.Name, resilience.ErrDeadlineExceeded), false
+			}
 			s.readySig.Wait(p)
 		}
 		cs.End()
@@ -416,6 +548,8 @@ func (s *Service) invokeOnce(p *sim.Proc, req Request, attempt int) (Response, e
 	// Route when capacity exists: requests buffer at the ingress (as the
 	// activator/queue-proxy pair does) and take the first free slot on any
 	// ready replica, so freshly scaled pods immediately absorb queued load.
+	// Every wake-up re-checks the deadline so a queued request that missed
+	// its budget is dropped instead of occupying a slot.
 	enq := p.Now()
 	qs := tr.Start(sp, "knative", "queue", trace.L("service", s.spec.Name))
 	var h *podHandle
@@ -425,17 +559,25 @@ func (s *Service) invokeOnce(p *sim.Proc, req Request, attempt int) (Response, e
 			sp.SetLabel("status", "failed")
 			return Response{}, fmt.Errorf("knative: service %s shut down while queued", s.spec.Name), false
 		}
+		if resilience.Expired(req.Deadline, p.Now()) {
+			qs.End()
+			s.DeadlineDrops++
+			sp.SetLabel("status", "deadline")
+			return Response{}, fmt.Errorf("knative: service %s: %w in queue", s.spec.Name, resilience.ErrDeadlineExceeded), false
+		}
 		h = s.pickAvailable()
 		if h != nil {
 			break
 		}
 		s.readySig.Wait(p)
 	}
+	exitAdmission() // holding a serving slot: leave the waiting room
 	h.inFlight++
 	qs.SetLabel("node", h.pod.NodeName)
 	qs.End()
 	queued := p.Now() - enq
 	sp.SetLabel("node", h.pod.NodeName)
+	slotStart := p.Now()
 
 	resp := Response{PodNode: h.pod.NodeName, Cold: cold, Queued: queued}
 	// Pass-by-value file handling (§IV-3): the caller marshals the input
@@ -449,6 +591,18 @@ func (s *Service) invokeOnce(p *sim.Proc, req Request, attempt int) (Response, e
 	qp := tr.Start(sp, "knative", "queue-proxy")
 	p.Sleep(kn.prm.QueueProxyOverhead)
 	qp.End()
+	// Queue-proxy deadline enforcement: last check before the function
+	// body runs. Payload transfer and proxy overhead may have consumed
+	// the remaining budget; executing anyway would waste a pod slot on a
+	// response nobody is waiting for.
+	if resilience.Expired(req.Deadline, p.Now()) {
+		h.gate.Release(1)
+		h.inFlight--
+		s.readySig.Broadcast()
+		s.DeadlineDrops++
+		sp.SetLabel("status", "deadline")
+		return resp, fmt.Errorf("knative: service %s: %w at queue-proxy", s.spec.Name, resilience.ErrDeadlineExceeded), false
+	}
 	var stageErr error
 	var execErr error
 	if req.StageIn != nil {
@@ -480,7 +634,56 @@ func (s *Service) invokeOnce(p *sim.Proc, req Request, attempt int) (Response, e
 		sp.SetLabel("status", "failed")
 		return resp, stageErr, false
 	}
+	s.observeSlotTime(p.Now() - slotStart)
 	return resp, nil, false
+}
+
+// shedReason labels a shed span with which admission check fired.
+func shedReason(err error) string {
+	if errors.Is(err, resilience.ErrWouldExpire) {
+		return "would-expire"
+	}
+	return "queue-full"
+}
+
+// estimateWait predicts the queue wait a newly arriving request faces: the
+// requests already waiting ahead of it each hold a serving slot for about
+// one EWMA service time, spread across the service's slots. Zero until the
+// first completion seeds the EWMA (admit optimistically while cold).
+func (s *Service) estimateWait() time.Duration {
+	if s.admission == nil || s.ewma <= 0 {
+		return 0
+	}
+	slots := s.servingSlots()
+	return time.Duration(float64(s.admission.Waiting()) / float64(slots) * float64(s.ewma))
+}
+
+// servingSlots is the service's current request parallelism: ready pods ×
+// container concurrency, falling back to starting pods during a cold start
+// so the estimate doesn't divide by zero.
+func (s *Service) servingSlots() int {
+	cc := s.spec.ContainerConcurrency
+	if cc <= 0 {
+		return 1 << 20 // effectively unlimited: queue waits are ≈ 0
+	}
+	pods := s.ReadyPods()
+	if pods == 0 {
+		pods = s.StartingPods()
+	}
+	if pods == 0 {
+		pods = 1
+	}
+	return pods * cc
+}
+
+// observeSlotTime folds one completed request's slot-holding time (payload
+// movement + proxy + execution) into the EWMA behind estimateWait.
+func (s *Service) observeSlotTime(d time.Duration) {
+	if s.ewma == 0 {
+		s.ewma = d
+		return
+	}
+	s.ewma = (3*s.ewma + d) / 4
 }
 
 // codecTime returns the (un)marshalling time of a payload.
@@ -546,9 +749,11 @@ func (s *Service) pickAvailable() *podHandle {
 	}
 	h := d.Winner.Aux.(*podHandle)
 	if !h.gate.TryAcquire(1) {
-		// Cannot happen: availability was checked and nothing parks in
-		// between under the cooperative scheduler.
-		panic("knative: capacity vanished under pickAvailable")
+		// The winner's capacity vanished between the policy's filter pass
+		// and the claim (a scale-down or pod kill interleaved with this
+		// request's wake-up). Treat it like no replica being available:
+		// the caller re-waits on readySig and retries the pick.
+		return nil
 	}
 	tr := trace.FromEnv(s.kn.env)
 	sched.Record(tr, tr.Current(), "knative", s.route, req, d)

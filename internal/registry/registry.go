@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/faults"
+	"repro/internal/resilience"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/trace"
@@ -49,11 +50,12 @@ func NewImage(name string, base []int64, appBytes int64) Image {
 
 // Registry is the image store plus its network endpoint.
 type Registry struct {
-	net    *simnet.Network
-	host   string
-	images map[string]Image
-	pulls  int
-	faults *faults.Injector
+	net     *simnet.Network
+	host    string
+	images  map[string]Image
+	pulls   int
+	faults  *faults.Injector
+	breaker *resilience.Breaker
 }
 
 // New returns a registry reachable at the cluster's registry network node.
@@ -83,14 +85,36 @@ func (r *Registry) Pulls() int { return r.pulls }
 // registry node's egress interface.
 func (r *Registry) AttachFaults(in *faults.Injector) { r.faults = in }
 
+// Protect installs a circuit breaker on the pull path: after enough
+// consecutive pull failures the registry endpoint fast-fails further pulls
+// (ErrCircuitOpen, no network round trip) until the open window elapses and
+// probe pulls succeed. A zero policy leaves pulls unprotected.
+func (r *Registry) Protect(pol resilience.BreakerPolicy) {
+	r.breaker = resilience.NewBreaker(pol)
+}
+
+// Breaker exposes the pull-path breaker (nil when unprotected) for
+// experiment and test assertions.
+func (r *Registry) Breaker() *resilience.Breaker { return r.breaker }
+
 // PullLayers transfers the given layers of the named image to node,
 // blocking the calling process for the network time. The caller (the node's
 // container runtime) decides which layers are missing. With fault injection
 // active, a pull may fail transiently (HTTP 5xx / dropped connection) —
-// retryable by the runtime's pull policy.
+// retryable by the runtime's pull policy. With a breaker installed,
+// consecutive failures trip it and later pulls fast-fail with
+// ErrCircuitOpen (not transient: the runtime's retry loop stops
+// immediately instead of hammering a down endpoint).
 func (r *Registry) PullLayers(p *sim.Proc, node string, img Image, missing []Layer) error {
 	if _, ok := r.images[img.Name]; !ok {
 		return fmt.Errorf("registry: image %q not found", img.Name)
+	}
+	if !r.breaker.Allow(p.Now()) {
+		br := trace.Start(p, "registry", "breaker",
+			trace.L("image", img.Name), trace.L("node", node),
+			trace.L("state", r.breaker.State(p.Now()).String()))
+		br.End()
+		return fmt.Errorf("registry: pull %q to %s: %w", img.Name, node, resilience.ErrCircuitOpen)
 	}
 	sp := trace.Start(p, "registry", "layers",
 		trace.L("image", img.Name), trace.L("node", node), trace.L("layers", fmt.Sprint(len(missing))))
@@ -99,11 +123,13 @@ func (r *Registry) PullLayers(p *sim.Proc, node string, img Image, missing []Lay
 		// The failed request still costs a round trip to the endpoint.
 		r.net.Message(p, r.host, node)
 		sp.SetLabel("status", "failed")
+		r.breaker.OnFailure(p.Now())
 		return faults.Transientf("registry: pull %q to %s: injected pull error", img.Name, node)
 	}
 	for _, l := range missing {
 		r.pulls++
 		r.net.Transfer(p, r.host, node, l.Bytes)
 	}
+	r.breaker.OnSuccess(p.Now())
 	return nil
 }

@@ -41,6 +41,10 @@ const (
 	// StageRetryWait is backoff between a task's failed attempt and its
 	// resubmission.
 	StageRetryWait Stage = "retry-wait"
+	// StageShed is overload-protection activity: admission sheds, deadline
+	// drops, and circuit-breaker fast-fails. These are zero-duration
+	// markers, so the bucket stays empty unless protections fire.
+	StageShed Stage = "shed"
 	// StageIdle is critical-path slack between tasks (and before the first
 	// task), e.g. the engine's initial poll phase.
 	StageIdle Stage = "idle"
@@ -53,7 +57,7 @@ func Stages() []Stage {
 	return []Stage{
 		StageQueue, StageXfer, StagePull, StageContainer, StageColdStart,
 		StageExec, StageStaging, StageOverhead, StagePoll, StageRetryWait,
-		StageIdle, StageOther,
+		StageShed, StageIdle, StageOther,
 	}
 }
 
@@ -72,6 +76,9 @@ func StageOf(sp *Span) Stage {
 			return StageOverhead
 		}
 	case "registry":
+		if sp.name == "breaker" {
+			return StageShed
+		}
 		return StagePull
 	case "crt":
 		switch sp.name {
@@ -94,6 +101,8 @@ func StageOf(sp *Span) Stage {
 			return StageOverhead
 		case "backoff":
 			return StageRetryWait
+		case "shed", "breaker":
+			return StageShed
 		}
 	case "kube":
 		return StageContainer
@@ -107,7 +116,9 @@ func StageOf(sp *Span) Stage {
 		return StageExec
 	case "wms":
 		switch sp.name {
-		case "wrapper-startup":
+		case "wrapper-startup", "hedge":
+			// A hedge span's children (the speculative condor job) classify
+			// themselves; its self time is engine machinery.
 			return StageOverhead
 		case "task":
 			return StagePoll // self time = completion → poll observation
@@ -292,11 +303,24 @@ func Analyze(t *Tracer, dag DAG, workflow string) (*CriticalPath, error) {
 // addSelfTimes walks the subtree under root, adding each span's self time
 // (duration minus that of its children) to its stage bucket. Because child
 // spans nest within their parents, the buckets sum to root's duration.
+//
+// Speculative hedge copies run concurrently with the attempt's primary
+// submission, so a naive subtree sum would double-count wall time. The walk
+// keeps exactly one chain per attempt: when a hedge won (the engine stamps
+// the attempt span with "hedge-win"), the winning hedge's subtree replaces
+// the abandoned primary's; otherwise losing hedge subtrees are dropped. A
+// hedge-won attempt's own self time — the window spent waiting on the
+// straggling primary before and during the hedge — counts as queue wait
+// rather than poll lag.
 func addSelfTimes(root *Span, children map[SpanID][]*Span, into map[Stage]time.Duration) {
+	_, hedgeWon := root.Label("hedge-win")
 	var walk func(sp *Span) // returns nothing; accumulates into `into`
 	walk = func(sp *Span) {
 		var covered time.Duration
 		for _, c := range children[sp.id] {
+			if sp == root && skipLosingCopy(c, hedgeWon) {
+				continue
+			}
 			covered += c.Duration()
 			walk(c)
 		}
@@ -307,10 +331,25 @@ func addSelfTimes(root *Span, children map[SpanID][]*Span, into map[Stage]time.D
 			if self < 0 {
 				self = 0
 			}
-			into[StageOf(sp)] += self
+			st := StageOf(sp)
+			if sp == root && hedgeWon {
+				st = StageQueue
+			}
+			into[st] += self
 		}
 	}
 	walk(root)
+}
+
+// skipLosingCopy reports whether a direct child of an attempt span is a
+// task copy whose wall time must not be counted: a hedge that did not win,
+// or — when a hedge did win — the abandoned primary condor submission.
+func skipLosingCopy(c *Span, hedgeWon bool) bool {
+	if c.substrate == "wms" && c.name == "hedge" {
+		status, _ := c.Label("status")
+		return status != "won"
+	}
+	return hedgeWon && c.substrate == "condor"
 }
 
 func childIndex(t *Tracer) map[SpanID][]*Span {

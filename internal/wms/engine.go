@@ -12,6 +12,7 @@ import (
 	"repro/internal/crt"
 	"repro/internal/knative"
 	"repro/internal/registry"
+	"repro/internal/resilience"
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/trace"
@@ -77,6 +78,11 @@ type RunResult struct {
 	StartedAt  time.Duration
 	FinishedAt time.Duration
 	Tasks      map[string]*TaskResult
+
+	// Hedges counts speculative task copies launched; HedgeWins counts
+	// tasks resolved by a hedge copy finishing before the original.
+	Hedges    int
+	HedgeWins int
 }
 
 // Makespan is the workflow's wall-clock duration.
@@ -123,8 +129,37 @@ type Engine struct {
 	// MaxInflight throttles how many of a workflow's jobs may be in the
 	// condor queue at once (DAGMan's -maxjobs); 0 = unlimited.
 	MaxInflight int
+	// Budget, when non-nil, gates every task resubmission through a shared
+	// token-bucket retry budget (successes deposit, retries withdraw). A
+	// denied resubmission aborts the workflow with a rescue instead of
+	// letting correlated failures amplify into a resubmission storm.
+	Budget *resilience.RetryBudget
+	// HedgeAfter launches a speculative duplicate of a task whose newest
+	// copy has been in flight longer than this (straggler mitigation): the
+	// first copy to complete wins, the rest are abandoned like the jobs a
+	// rescue DAG leaves behind. 0 disables hedging.
+	HedgeAfter time.Duration
+	// HedgeMax caps speculative copies per task attempt (0 means 1).
+	HedgeMax int
+	// Deadline bounds the whole run relative to its start. When it passes,
+	// the engine aborts with a rescue; serverless submissions carry the
+	// absolute deadline so the serving layer drops work past it too.
+	Deadline time.Duration
 
 	progress map[string]*taskProgress
+}
+
+// flight is one task's in-flight attempt: the primary condor job plus any
+// speculative hedge copies. spans and hedged are index-aligned with jobs;
+// spans[0] is nil (the primary is covered by the task-attempt span), hedge
+// copies get their own "hedge" spans. hedged marks which copies are
+// speculative — win accounting keys off it rather than the spans, which are
+// nil when no tracer is attached.
+type flight struct {
+	attempt *trace.Span
+	jobs    []*condor.Job
+	spans   []*trace.Span
+	hedged  []bool
 }
 
 // RunWorkflow executes the workflow with the given mode assignment and
@@ -171,13 +206,12 @@ func (e *Engine) run(p *sim.Proc, wf *Workflow, assign ModeAssigner, rescue *Res
 	}
 	done := make(map[string]bool, wf.Len())
 	attempts := make(map[string]int, wf.Len())
-	inflight := make(map[string]*condor.Job)
+	inflight := make(map[string]*flight)
 	notBefore := make(map[string]time.Duration) // retry backoff gate
 
 	tracer := trace.FromEnv(e.Env)
 	wfSpan := tracer.StartCurrent("wms", "workflow", trace.L("workflow", wf.Name))
-	defer wfSpan.End()                    // End is idempotent; covers error returns too
-	spans := make(map[string]*trace.Span) // in-flight attempt spans by task
+	defer wfSpan.End() // End is idempotent; covers error returns too
 
 	if rescue != nil {
 		// Rescue-DAG resume: finished tasks are planned out of the DAG and
@@ -192,6 +226,20 @@ func (e *Engine) run(p *sim.Proc, wf *Workflow, assign ModeAssigner, rescue *Res
 			res.Tasks[id] = tr
 		}
 		e.restoreProgress(wf, rescue)
+	}
+
+	// The workflow deadline is absolute from the (possibly rescued) start,
+	// and propagates into every serverless submission.
+	var absDeadline time.Duration
+	if e.Deadline > 0 {
+		absDeadline = res.StartedAt + e.Deadline
+	}
+	abandonedJobs := func() int {
+		n := 0
+		for _, f := range inflight {
+			n += len(f.jobs)
+		}
+		return n
 	}
 
 	ready := func(id string) bool {
@@ -220,15 +268,59 @@ func (e *Engine) run(p *sim.Proc, wf *Workflow, assign ModeAssigner, rescue *Res
 				trace.L("mode", modes[id].String()),
 				trace.L("attempt", strconv.Itoa(attempts[id]+1)))
 			popCur := tracer.Push(sp) // condor job span nests under the attempt
-			job, err := e.submitTask(wf, task, modes[id])
+			job, err := e.submitTask(wf, task, modes[id], absDeadline)
 			popCur()
 			if err != nil {
 				sp.End()
 				return err
 			}
 			attempts[id]++
-			inflight[id] = job
-			spans[id] = sp
+			inflight[id] = &flight{attempt: sp, jobs: []*condor.Job{job}, spans: []*trace.Span{nil}, hedged: []bool{false}}
+		}
+		return nil
+	}
+
+	// submitHedges launches speculative copies of straggling tasks: any
+	// in-flight task whose newest copy has sat longer than HedgeAfter gets
+	// a duplicate submission, up to HedgeMax copies per attempt. The copies
+	// race; the poll loop keeps whichever finishes first.
+	submitHedges := func() error {
+		if e.HedgeAfter <= 0 {
+			return nil
+		}
+		hedgeMax := e.HedgeMax
+		if hedgeMax <= 0 {
+			hedgeMax = 1
+		}
+		ids := make([]string, 0, len(inflight))
+		for id := range inflight {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			f := inflight[id]
+			if len(f.jobs) >= 1+hedgeMax {
+				continue
+			}
+			newest := f.jobs[len(f.jobs)-1]
+			if p.Now()-newest.SubmittedAt < e.HedgeAfter {
+				continue
+			}
+			task, _ := wf.Task(id)
+			hs := tracer.Start(f.attempt, "wms", "hedge",
+				trace.L("workflow", wf.Name), trace.L("task", id),
+				trace.L("copy", strconv.Itoa(len(f.jobs))))
+			popCur := tracer.Push(hs)
+			job, err := e.submitTask(wf, task, modes[id], absDeadline)
+			popCur()
+			if err != nil {
+				hs.End()
+				return err
+			}
+			res.Hedges++
+			f.jobs = append(f.jobs, job)
+			f.spans = append(f.spans, hs)
+			f.hedged = append(f.hedged, true)
 		}
 		return nil
 	}
@@ -244,52 +336,121 @@ func (e *Engine) run(p *sim.Proc, wf *Workflow, assign ModeAssigner, rescue *Res
 	}
 	for len(done) < wf.Len() {
 		p.Sleep(e.Prm.DAGManPoll)
+		// Workflow deadline: stop resubmitting and abort with a rescue; the
+		// serving layer is already dropping the in-flight work past it.
+		if absDeadline > 0 && p.Now() >= absDeadline {
+			wfSpan.SetLabel("status", "aborted")
+			return nil, &AbortError{
+				Reason: AbortDeadline,
+				Rescue: e.buildRescue(wf, res, "", abandonedJobs()),
+			}
+		}
 		ids := make([]string, 0, len(inflight))
 		for id := range inflight {
 			ids = append(ids, id)
 		}
 		sort.Strings(ids)
 		for _, id := range ids {
-			job := inflight[id]
-			switch job.Status() {
-			case condor.StatusCompleted:
+			f := inflight[id]
+			// Winner: the earliest-finishing completed copy (primary or
+			// hedge). Still-running losers are abandoned — they finish on
+			// their own and their results are discarded.
+			winIdx := -1
+			for i, job := range f.jobs {
+				if job.Status() != condor.StatusCompleted {
+					continue
+				}
+				if winIdx < 0 || job.FinishedAt < f.jobs[winIdx].FinishedAt {
+					winIdx = i
+				}
+			}
+			if winIdx >= 0 {
+				win := f.jobs[winIdx]
 				delete(inflight, id)
 				done[id] = true
+				e.Budget.OnSuccess()
+				for i, hs := range f.spans {
+					if hs == nil {
+						continue
+					}
+					if i == winIdx {
+						hs.SetLabel("status", "won")
+					} else {
+						hs.SetLabel("status", "abandoned")
+					}
+					hs.End()
+				}
+				if f.hedged[winIdx] {
+					res.HedgeWins++
+					f.attempt.SetLabel("hedge-win", "1")
+				}
 				// The attempt span closes when the engine observes completion
 				// (this poll tick), so its tail is the DAGMan-poll slack.
-				spans[id].SetLabel("node", job.Node())
-				spans[id].End()
-				delete(spans, id)
+				f.attempt.SetLabel("node", win.Node())
+				f.attempt.End()
 				res.Tasks[id] = &TaskResult{
 					ID:          id,
 					Mode:        modes[id],
-					Node:        job.Node(),
+					Node:        win.Node(),
 					Attempts:    attempts[id],
-					SubmittedAt: job.SubmittedAt,
-					StartedAt:   job.StartedAt,
-					FinishedAt:  job.FinishedAt,
+					SubmittedAt: win.SubmittedAt,
+					StartedAt:   win.StartedAt,
+					FinishedAt:  win.FinishedAt,
 				}
-			case condor.StatusFailed:
-				delete(inflight, id)
-				spans[id].SetLabel("status", "failed")
-				spans[id].End()
-				delete(spans, id)
-				if attempts[id] >= e.Retry.Attempts() {
-					wfSpan.SetLabel("status", "aborted")
-					// Retry budget exhausted: abort with a rescue capturing
-					// completed-task state. Jobs still in flight are
-					// abandoned (their results discarded); the rescue DAG
-					// re-runs those tasks.
-					return nil, &AbortError{
-						Task:     id,
-						Attempts: attempts[id],
-						Rescue:   e.buildRescue(wf, res, id, len(inflight)),
-					}
-				}
-				// Exponential backoff before resubmission, jittered so
-				// concurrent workflows don't resubmit in lockstep.
-				notBefore[id] = p.Now() + e.Retry.Backoff(attempts[id], p.Rand())
+				continue
 			}
+			// Drop failed copies; the attempt fails only when none remain.
+			keptJobs, keptSpans, keptHedged := f.jobs[:0], f.spans[:0], f.hedged[:0]
+			for i, job := range f.jobs {
+				if job.Status() == condor.StatusFailed {
+					if f.spans[i] != nil {
+						f.spans[i].SetLabel("status", "failed")
+						f.spans[i].End()
+					}
+					continue
+				}
+				keptJobs = append(keptJobs, job)
+				keptSpans = append(keptSpans, f.spans[i])
+				keptHedged = append(keptHedged, f.hedged[i])
+			}
+			f.jobs, f.spans, f.hedged = keptJobs, keptSpans, keptHedged
+			if len(f.jobs) > 0 {
+				continue
+			}
+			delete(inflight, id)
+			f.attempt.SetLabel("status", "failed")
+			f.attempt.End()
+			if attempts[id] >= e.Retry.Attempts() {
+				wfSpan.SetLabel("status", "aborted")
+				// Per-task retries exhausted: abort with a rescue capturing
+				// completed-task state. Jobs still in flight are
+				// abandoned (their results discarded); the rescue DAG
+				// re-runs those tasks.
+				return nil, &AbortError{
+					Task:     id,
+					Attempts: attempts[id],
+					Reason:   AbortRetries,
+					Rescue:   e.buildRescue(wf, res, id, abandonedJobs()),
+				}
+			}
+			if !e.Budget.TryRetry() {
+				// The engine-wide retry budget denied the resubmission:
+				// failures are outpacing successes, so degrade gracefully —
+				// abort with a rescue instead of joining the storm.
+				wfSpan.SetLabel("status", "aborted")
+				return nil, &AbortError{
+					Task:     id,
+					Attempts: attempts[id],
+					Reason:   AbortRetryBudget,
+					Rescue:   e.buildRescue(wf, res, id, abandonedJobs()),
+				}
+			}
+			// Exponential backoff before resubmission, jittered so
+			// concurrent workflows don't resubmit in lockstep.
+			notBefore[id] = p.Now() + e.Retry.Backoff(attempts[id], p.Rand())
+		}
+		if err := submitHedges(); err != nil {
+			return nil, err
 		}
 		if err := submitReady(); err != nil {
 			return nil, err
@@ -300,7 +461,9 @@ func (e *Engine) run(p *sim.Proc, wf *Workflow, assign ModeAssigner, rescue *Res
 }
 
 // submitTask plans one task into a condor job for its mode and submits it.
-func (e *Engine) submitTask(wf *Workflow, task *TaskSpec, mode Mode) (*condor.Job, error) {
+// A non-zero deadline (absolute virtual time) rides along into serverless
+// invocations so the serving layer can drop work past it.
+func (e *Engine) submitTask(wf *Workflow, task *TaskSpec, mode Mode, deadline time.Duration) (*condor.Job, error) {
 	tr, ok := e.Catalogs.Transformation(task.Transformation)
 	if !ok {
 		return nil, fmt.Errorf("wms: unknown transformation %q", task.Transformation)
@@ -481,6 +644,7 @@ func (e *Engine) submitTask(wf *Workflow, task *TaskSpec, mode Mode) (*condor.Jo
 				PayloadIn:  task.InputBytes(),
 				PayloadOut: task.OutputBytes(),
 				Work:       work,
+				Deadline:   deadline,
 			}
 			if remoteData {
 				req.PayloadIn, req.PayloadOut = referenceBytes, referenceBytes

@@ -43,17 +43,44 @@ type Rescue struct {
 	Progress map[string]TaskCheckpoint `json:"progress,omitempty"`
 }
 
-// AbortError is returned by RunWorkflow (and ResumeWorkflow) when a task
-// exhausts its retry budget. It carries the rescue state needed to resume.
+// Abort reasons carried by AbortError.Reason.
+const (
+	// AbortRetries: the task's own attempt budget ran out.
+	AbortRetries = "retries"
+	// AbortRetryBudget: the engine-wide retry budget denied a
+	// resubmission (failures outpacing successes).
+	AbortRetryBudget = "retry-budget"
+	// AbortDeadline: the workflow's deadline passed mid-run.
+	AbortDeadline = "deadline"
+)
+
+// AbortError is returned by RunWorkflow (and ResumeWorkflow) when the run
+// cannot continue: a task exhausted its retries, the engine-wide retry
+// budget denied a resubmission, or the workflow deadline passed. It carries
+// the rescue state needed to resume.
 type AbortError struct {
+	// Task is the task that triggered the abort (empty for deadline
+	// aborts, which are a property of the whole run).
 	Task     string
 	Attempts int
-	Rescue   *Rescue
+	// Reason is one of the Abort* constants; empty means AbortRetries
+	// (the original abort class).
+	Reason string
+	Rescue *Rescue
 }
 
 func (e *AbortError) Error() string {
-	return fmt.Sprintf("wms: task %s/%s failed after %d attempts (%d tasks completed; rescue available)",
-		e.Rescue.Workflow, e.Task, e.Attempts, len(e.Rescue.Done))
+	switch e.Reason {
+	case AbortDeadline:
+		return fmt.Sprintf("wms: workflow %s exceeded its deadline (%d tasks completed; rescue available)",
+			e.Rescue.Workflow, len(e.Rescue.Done))
+	case AbortRetryBudget:
+		return fmt.Sprintf("wms: task %s/%s denied resubmission by the retry budget after %d attempts (%d tasks completed; rescue available)",
+			e.Rescue.Workflow, e.Task, e.Attempts, len(e.Rescue.Done))
+	default:
+		return fmt.Sprintf("wms: task %s/%s failed after %d attempts (%d tasks completed; rescue available)",
+			e.Rescue.Workflow, e.Task, e.Attempts, len(e.Rescue.Done))
+	}
 }
 
 // WriteRescue persists a rescue file as JSON (the on-disk artefact a real
