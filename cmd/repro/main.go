@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	repro [flags] {fig1|fig2|fig5|fig6|coldstart|config|chaos|all}
+//	repro [flags] {fig1|fig2|fig5|fig6|coldstart|config|chaos|overload|traffic|all}
 //
 // Flags:
 //
@@ -34,7 +34,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel replication workers (0 = GOMAXPROCS, 1 = sequential)")
 	traceOut := flag.String("trace-out", "", "with the trace experiment: write Chrome trace_event JSON to <prefix>-<mode>.json")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: repro [flags] {fig1|fig2|fig5|fig6|coldstart|config|all|datamove|resize|redirect|clustering|montage|isolation|placement|chaos|overload|trace|ext}\n")
+		fmt.Fprintf(os.Stderr, "usage: repro [flags] {fig1|fig2|fig5|fig6|coldstart|config|all|datamove|resize|redirect|clustering|montage|isolation|placement|chaos|overload|traffic|trace|ext}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -87,6 +87,8 @@ func main() {
 			return writeResult(w, experiments.Chaos(o))
 		case "overload":
 			return writeResult(w, experiments.Overload(o))
+		case "traffic":
+			return writeResult(w, experiments.Traffic(o))
 		case "trace":
 			res := experiments.Trace(o)
 			if *traceOut != "" {
@@ -112,7 +114,7 @@ func main() {
 	case "all":
 		names = []string{"config", "coldstart", "fig1", "fig2", "fig5", "fig6"}
 	case "ext":
-		names = []string{"datamove", "resize", "redirect", "clustering", "montage", "isolation", "placement", "chaos", "overload"}
+		names = []string{"datamove", "resize", "redirect", "clustering", "montage", "isolation", "placement", "chaos", "overload", "traffic"}
 	default:
 		names = []string{target}
 	}

@@ -114,6 +114,28 @@ type Params struct {
 	// DefaultTarget is the per-pod target concurrency used by the
 	// autoscaler when the service doesn't set one.
 	DefaultTarget float64
+	// MaxScaleUpRate bounds one autoscaler decision's scale-up to this
+	// multiple of the current ready count (knative's max-scale-up-rate;
+	// must exceed 1 when set). 0 = unlimited, the seed behaviour.
+	MaxScaleUpRate float64
+	// MaxScaleDownRate bounds one autoscaler decision's scale-down to this
+	// divisor of the current ready count (knative's max-scale-down-rate;
+	// must exceed 1 when set). 0 = unlimited, the seed behaviour.
+	MaxScaleDownRate float64
+	// ScaleDownDelay holds a scale-down until the desired count has stayed
+	// low for this long (the recommendation becomes the max over the
+	// trailing delay window). 0 = immediate scale-down, the seed behaviour.
+	ScaleDownDelay time.Duration
+	// ActivationScale is the minimum nonzero replica recommendation:
+	// scaling up from (or near) zero jumps straight to this count
+	// ("autoscaling.knative.dev/activation-scale"). Values <= 1 are
+	// neutral, the seed behaviour.
+	ActivationScale int
+	// KPAWeightedWindows switches the KPA's window aggregation to
+	// exponentially age-weighted averages (libkpa's weighted time window),
+	// reacting faster to level shifts. Default false = uniform averages,
+	// the seed behaviour.
+	KPAWeightedWindows bool
 	// HPASyncPeriod is the HPA-class autoscaler's evaluation period
 	// (kubernetes horizontal-pod-autoscaler sync interval).
 	HPASyncPeriod time.Duration

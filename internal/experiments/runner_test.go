@@ -35,6 +35,7 @@ func TestWorkerCountInvariance(t *testing.T) {
 		{"Isolation", func(o Options) any { return Isolation(o) }},
 		{"Placement", func(o Options) any { return Placement(o) }},
 		{"Overload", func(o Options) any { return Overload(o) }},
+		{"Traffic", func(o Options) any { return Traffic(o) }},
 	}
 	for _, c := range cases {
 		c := c

@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/crt"
+	"repro/internal/knative"
+	"repro/internal/kpa"
+	"repro/internal/kube"
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+	"repro/internal/registry"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The traffic experiment is the autoscaler study: a multi-tenant serving
+// platform (hundreds of Knative services with a Zipf popularity mix)
+// receives an open-loop diurnal arrival stream with a platform-wide flash
+// crowd, and the same trace is replayed against several KPA
+// parameterizations. Per arm it reports tail latency (p50/p99/p999),
+// cold-start rate, shed and deadline-drop rates, and pod-seconds — the
+// capacity/latency trade-off each autoscaler configuration picks. The full
+// run pushes ~10^6 requests through the activator/queue-proxy path.
+
+const (
+	// trafficWork is the per-request service demand in core-seconds; small,
+	// so a million requests stay simulable and per-pod throughput is
+	// 1/(work+proxy overhead) ≈ 24 req/s at container concurrency 1.
+	trafficWork = 0.03
+	// trafficDeadline bounds every request end to end; with admission
+	// control it also drives shed-on-estimated-wait.
+	trafficDeadline = 10 * time.Second
+	// trafficQueueCap bounds each service's activator waiting room.
+	trafficQueueCap = 256
+	// trafficZipfAlpha skews the per-tenant popularity mix.
+	trafficZipfAlpha = 1.0
+	// trafficDiurnalSwing is the relative amplitude of the day/night curve.
+	trafficDiurnalSwing = 0.4
+	// trafficFlashBoost multiplies the platform rate during the crowd.
+	trafficFlashBoost = 2.5
+	// trafficDrain keeps serving after the arrival window closes so
+	// stragglers finish before shutdown.
+	trafficDrain = 5 * time.Second
+	// trafficPodSample is the cadence of the pod-seconds integrator.
+	trafficPodSample = 500 * time.Millisecond
+	// trafficHorizon bounds one run in virtual time.
+	trafficHorizon = 15 * time.Minute
+)
+
+// trafficSize is the scale of one run.
+type trafficSize struct {
+	Services int
+	TotalRPS float64
+	Window   time.Duration
+	Nodes    int
+}
+
+func trafficSizeFor(quick bool) trafficSize {
+	if quick {
+		return trafficSize{Services: 12, TotalRPS: 60, Window: 12 * time.Second, Nodes: 3}
+	}
+	return trafficSize{Services: 200, TotalRPS: 520, Window: 100 * time.Second, Nodes: 16}
+}
+
+// TrafficArm is one autoscaler parameterization under test.
+type TrafficArm struct {
+	Name string
+	// Params mutates the platform-level autoscaler knobs.
+	Params func(*config.Params)
+	// Spec mutates each service's spec (metric, target).
+	Spec func(*knative.ServiceSpec)
+}
+
+// TrafficArms are the configurations the study compares: the seed defaults,
+// a twitchier panic configuration, rate-clamped scaling with a scale-down
+// delay, and RPS-driven scaling.
+func TrafficArms() []TrafficArm {
+	return []TrafficArm{
+		{Name: "seed", Params: func(*config.Params) {}},
+		{Name: "fast-panic", Params: func(prm *config.Params) {
+			prm.AutoscalerTick = time.Second
+			prm.StableWindow = 30 * time.Second
+			prm.PanicWindow = 3 * time.Second
+		}},
+		{Name: "clamped", Params: func(prm *config.Params) {
+			prm.MaxScaleUpRate = 10
+			prm.MaxScaleDownRate = 2
+			prm.ScaleDownDelay = 20 * time.Second
+		}},
+		{Name: "rps", Params: func(*config.Params) {}, Spec: func(spec *knative.ServiceSpec) {
+			spec.ScalingMetric = kpa.MetricRPS
+			spec.Target = 10 // requests/s per pod
+		}},
+	}
+}
+
+// TrafficRun is one seeded replay of the trace against one arm.
+type TrafficRun struct {
+	Arrivals      int
+	Completed     int
+	Errors        int
+	ColdStarts    int
+	Shed          int
+	DeadlineDrops int
+	// P50/P99/P999 are latency percentiles over completions, seconds.
+	P50, P99, P999 float64
+	// PodSeconds integrates ready pods over the arrival window.
+	PodSeconds float64
+}
+
+// TrafficOnce executes one seeded run: deploy the tenant fleet, replay the
+// open-loop trace, and collect the arm's scorecard.
+func TrafficOnce(seed uint64, base config.Params, arm TrafficArm, quick bool) TrafficRun {
+	size := trafficSizeFor(quick)
+	prm := base
+	prm.WorkerNodes = size.Nodes
+	prm.InvokeDeadline = trafficDeadline
+	prm.ActivatorQueueCap = trafficQueueCap
+	arm.Params(&prm)
+
+	env := sim.NewEnv(seed)
+	cl := cluster.New(env, prm)
+	reg := registry.New(cl.Net)
+	reg.Push(registry.NewImage("fn", prm.ImageLayersBytes[:1], prm.ImageLayersBytes[1]))
+	k := kube.New(env, cl, crt.NewSet(env, cl, reg, prm), prm)
+	k.Start()
+	kn := knative.New(env, cl, k, prm)
+
+	// The platform-wide shape: one diurnal cycle across the window with a
+	// flash crowd through the middle. Tenants split it by Zipf popularity.
+	shape := workload.FlashCrowd(
+		workload.DiurnalRate(size.TotalRPS, trafficDiurnalSwing, size.Window),
+		size.Window*55/100, size.Window/10, trafficFlashBoost)
+	peak := size.TotalRPS * (1 + trafficDiurnalSwing) * trafficFlashBoost
+	mix := workload.TenantMix(size.Services, trafficZipfAlpha, shape)
+
+	var out TrafficRun
+	var latencies []float64
+	services := make([]*knative.Service, size.Services)
+
+	env.Go("main", func(p *sim.Proc) {
+		// Stage the image on every worker up front so the study measures
+		// pod cold starts, not a one-time registry stampede.
+		pull := sim.NewWaitGroup(env)
+		for _, w := range k.Workers() {
+			pull.Add(1)
+			env.Go("pull-"+w, func(pp *sim.Proc) {
+				defer pull.Done()
+				if err := k.Runtime(w).PullImage(pp, "fn"); err != nil {
+					panic(err)
+				}
+			})
+		}
+		pull.Wait(p)
+
+		for i := range services {
+			spec := knative.ServiceSpec{
+				Name:                 fmt.Sprintf("svc-%03d", i),
+				Image:                "fn",
+				ContainerConcurrency: 1,
+				CPURequest:           0.5,
+				MemMB:                256,
+				CapCores:             1,
+				AppInit:              prm.ColdStartAppInit,
+			}
+			if arm.Spec != nil {
+				arm.Spec(&spec)
+			}
+			svc, err := kn.Deploy(p, spec)
+			if err != nil {
+				panic(err)
+			}
+			services[i] = svc
+		}
+
+		start := p.Now()
+		end := start + size.Window
+		wg := sim.NewWaitGroup(env)
+
+		// The pod-seconds integrator samples the fleet's ready count.
+		wg.Add(1)
+		env.Go("podmeter", func(mp *sim.Proc) {
+			defer wg.Done()
+			for mp.Now() < end {
+				mp.Sleep(trafficPodSample)
+				ready := 0
+				for _, svc := range services {
+					ready += svc.ReadyPods()
+				}
+				out.PodSeconds += float64(ready) * trafficPodSample.Seconds()
+			}
+		})
+
+		// One open-loop generator per tenant replays its share of the
+		// trace; every arrival is an independent client (no retries).
+		for i, svc := range services {
+			wg.Add(1)
+			env.Go(fmt.Sprintf("gen-%03d", i), func(gp *sim.Proc) {
+				defer wg.Done()
+				rng := gp.Rand()
+				n := 0
+				workload.OpenLoop(rng, mix[i], peak, size.Window, func(at time.Duration) bool {
+					if wake := start + at; wake > gp.Now() {
+						gp.Sleep(wake - gp.Now())
+					}
+					out.Arrivals++
+					n++
+					wg.Add(1)
+					env.Go(fmt.Sprintf("c-%03d-%06d", i, n), func(cp *sim.Proc) {
+						defer wg.Done()
+						t0 := cp.Now()
+						_, err := svc.Invoke(cp, knative.Request{
+							From:       cluster.SubmitNodeName,
+							PayloadIn:  2048,
+							PayloadOut: 1024,
+							Work:       trafficWork,
+						})
+						if err != nil {
+							out.Errors++
+							return
+						}
+						out.Completed++
+						latencies = append(latencies, (cp.Now() - t0).Seconds())
+					})
+					return true
+				})
+			})
+		}
+
+		if until := end + trafficDrain; p.Now() < until {
+			p.Sleep(until - p.Now())
+		}
+		kn.Shutdown()
+		wg.Wait(p)
+
+		for _, svc := range services {
+			out.ColdStarts += svc.ColdStarts
+			ov := svc.Overload()
+			out.Shed += ov.ShedFull + ov.ShedWait
+			out.DeadlineDrops += ov.DeadlineDrops
+		}
+	})
+	env.RunUntil(trafficHorizon)
+
+	if len(latencies) > 0 {
+		out.P50 = metrics.Percentile(latencies, 50)
+		out.P99 = metrics.Percentile(latencies, 99)
+		out.P999 = metrics.Percentile(latencies, 99.9)
+	}
+	return out
+}
+
+// TrafficRow is one arm's scorecard averaged over repetitions.
+type TrafficRow struct {
+	Arm      string
+	Arrivals float64 // mean arrivals per rep
+	P50Ms    float64
+	P99Ms    float64
+	P999Ms   float64
+	ColdFrac float64 // cold starts per completion
+	ShedFrac float64 // admission sheds per arrival
+	DdlFrac  float64 // deadline drops per arrival
+	PodSecs  float64 // mean pod-seconds per rep
+}
+
+// TrafficResult is the autoscaler-arm comparison.
+type TrafficResult struct {
+	TotalArrivals int // across every arm and rep
+	Rows          []TrafficRow
+}
+
+// Traffic replays the same seeded traces against each autoscaler arm.
+// Every (arm, rep) pair is an independent simulation fanned across the
+// worker pool; results are identical at any worker count.
+func Traffic(o Options) TrafficResult {
+	arms := TrafficArms()
+	runs := parallel.Run(len(arms)*o.Reps, o.Workers, func(i int) TrafficRun {
+		return TrafficOnce(o.Seed+uint64(i%o.Reps), o.Prm, arms[i/o.Reps], o.Quick)
+	})
+
+	var res TrafficResult
+	for ai, arm := range arms {
+		var arr, p50, p99, p999, cold, shed, ddl, podsec metrics.Welford
+		for r := 0; r < o.Reps; r++ {
+			run := runs[ai*o.Reps+r]
+			res.TotalArrivals += run.Arrivals
+			arr.Add(float64(run.Arrivals))
+			p50.Add(run.P50 * 1000)
+			p99.Add(run.P99 * 1000)
+			p999.Add(run.P999 * 1000)
+			if run.Completed > 0 {
+				cold.Add(float64(run.ColdStarts) / float64(run.Completed))
+			}
+			if run.Arrivals > 0 {
+				shed.Add(float64(run.Shed) / float64(run.Arrivals))
+				ddl.Add(float64(run.DeadlineDrops) / float64(run.Arrivals))
+			}
+			podsec.Add(run.PodSeconds)
+		}
+		res.Rows = append(res.Rows, TrafficRow{
+			Arm:      arm.Name,
+			Arrivals: arr.Mean(),
+			P50Ms:    p50.Mean(),
+			P99Ms:    p99.Mean(),
+			P999Ms:   p999.Mean(),
+			ColdFrac: cold.Mean(),
+			ShedFrac: shed.Mean(),
+			DdlFrac:  ddl.Mean(),
+			PodSecs:  podsec.Mean(),
+		})
+	}
+	return res
+}
+
+// WriteTable renders the autoscaler study.
+func (r TrafficResult) WriteTable(w io.Writer) error {
+	tbl := metrics.NewTable("autoscaler", "arrivals", "p50_ms", "p99_ms", "p999_ms", "cold/req", "shed/arr", "ddl/arr", "pod_s")
+	for _, row := range r.Rows {
+		tbl.AddRow(row.Arm, row.Arrivals, row.P50Ms, row.P99Ms, row.P999Ms,
+			row.ColdFrac, row.ShedFrac, row.DdlFrac, row.PodSecs)
+	}
+	if err := tbl.Write(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "\ntraffic (autoscaler study): %d total open-loop arrivals, Zipf tenant mix\nover a diurnal curve with a %gx flash crowd, replayed per KPA\nparameterization; tail latency and cold starts trade against pod-seconds\n",
+		r.TotalArrivals, trafficFlashBoost)
+	return err
+}

@@ -15,13 +15,13 @@ package knative
 import (
 	"errors"
 	"fmt"
-	"math"
 	"strconv"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/config"
 	"repro/internal/faults"
+	"repro/internal/kpa"
 	"repro/internal/kube"
 	"repro/internal/resilience"
 	"repro/internal/sched"
@@ -86,6 +86,10 @@ type ServiceSpec struct {
 	Routing RoutePolicy
 	// Class selects the autoscaling algorithm (default: KPA).
 	Class AutoscalerClass
+	// ScalingMetric selects the KPA class's driving signal — concurrency
+	// (default) or requests/s, the "autoscaling.knative.dev/metric"
+	// annotation. Target is interpreted in the chosen metric's unit.
+	ScalingMetric kpa.Metric
 }
 
 // Request is one function invocation. File inputs travel by value in the
@@ -146,23 +150,17 @@ type podHandle struct {
 	inFlight int
 }
 
-type sample struct {
-	at  time.Duration
-	val float64
-}
-
 // Service is a deployed serverless function.
 type Service struct {
-	kn   *Knative
-	spec ServiceSpec
+	kn    *Knative
+	spec  ServiceSpec
+	ascfg kpa.Config // validated autoscaler parameterization (KPA or HPA)
 
 	pods     []*podHandle
 	nextPod  int
 	route    sched.Policy // replica-routing policy built from spec.Routing
 	rr       int          // round-robin offset for tie-breaking
 	inFlight int
-	samples  []sample
-	panicEnd time.Duration
 
 	readySig *sim.Signal
 	stopped  bool
@@ -237,6 +235,10 @@ func (kn *Knative) RetryBudget() *resilience.RetryBudget { return kn.budget }
 
 // Deploy registers a service and blocks until its initial replicas (if any)
 // are ready — task registration happens before workflow execution (§IV-1).
+// The service's autoscaler parameterization (from Params plus the spec) is
+// validated here, so a misconfiguration — e.g. a panic window wider than
+// the stable window, which the pre-kpa loop silently truncated — fails the
+// deployment instead of silently scaling wrong.
 func (kn *Knative) Deploy(p *sim.Proc, spec ServiceSpec) (*Service, error) {
 	if _, dup := kn.byName[spec.Name]; dup {
 		return nil, fmt.Errorf("knative: service %q already exists", spec.Name)
@@ -244,7 +246,16 @@ func (kn *Knative) Deploy(p *sim.Proc, spec ServiceSpec) (*Service, error) {
 	if spec.Target <= 0 {
 		spec.Target = kn.prm.DefaultTarget
 	}
-	svc := &Service{kn: kn, spec: spec, readySig: sim.NewSignal(kn.env)}
+	var ascfg kpa.Config
+	if spec.Class == ClassHPA {
+		ascfg = kn.hpaConfig(spec)
+	} else {
+		ascfg = kn.kpaConfig(spec)
+	}
+	if err := ascfg.Validate(); err != nil {
+		return nil, fmt.Errorf("knative: deploy %s: %w", spec.Name, err)
+	}
+	svc := &Service{kn: kn, spec: spec, ascfg: ascfg, readySig: sim.NewSignal(kn.env)}
 	svc.route = svc.routePolicy()
 	svc.breaker = resilience.NewBreaker(resilience.BreakerPolicy{
 		Failures:       kn.prm.BreakerFailures,
@@ -255,10 +266,7 @@ func (kn *Knative) Deploy(p *sim.Proc, spec ServiceSpec) (*Service, error) {
 	kn.services = append(kn.services, svc)
 	kn.byName[spec.Name] = svc
 
-	initial := spec.InitialScale
-	if spec.MinScale > initial {
-		initial = spec.MinScale
-	}
+	initial := ascfg.Initial()
 	for i := 0; i < initial; i++ {
 		svc.addPod()
 	}
@@ -824,90 +832,95 @@ func (s *Service) idleVictim() *podHandle {
 	return nil
 }
 
-// autoscalerLoop is the KPA: every tick it samples concurrency, averages it
-// over the stable and panic windows, and reconciles the replica count.
+// kpaConfig maps the platform parameters plus a service's spec onto the
+// KPA-class autoscaler configuration. The zero values of the optional
+// Params knobs (rate clamps, scale-down delay, activation scale, weighted
+// windows) leave the seed parameterization untouched.
+func (kn *Knative) kpaConfig(spec ServiceSpec) kpa.Config {
+	prm := kn.prm
+	agg := kpa.AggregationLinear
+	if prm.KPAWeightedWindows {
+		agg = kpa.AggregationWeighted
+	}
+	return kpa.Config{
+		TargetValue:      spec.Target,
+		ScalingMetric:    spec.ScalingMetric,
+		Aggregation:      agg,
+		Tick:             prm.AutoscalerTick,
+		StableWindow:     prm.StableWindow,
+		PanicWindow:      prm.PanicWindow,
+		PanicThreshold:   prm.PanicThreshold,
+		MaxScaleUpRate:   prm.MaxScaleUpRate,
+		MaxScaleDownRate: prm.MaxScaleDownRate,
+		ScaleDownDelay:   prm.ScaleDownDelay,
+		ScaleToZeroGrace: prm.ScaleToZeroGrace,
+		MinScale:         spec.MinScale,
+		MaxScale:         spec.MaxScale,
+		InitialScale:     spec.InitialScale,
+		ActivationScale:  prm.ActivationScale,
+	}
+}
+
+// hpaConfig maps a service's spec onto the HPA-class configuration: CPU
+// utilization expressed as a concurrency target (in-flight requests each
+// consume up to one core against the pod's quota, so the per-pod target is
+// CapCores × target utilization), no panic mode, no scale to zero — the
+// floor is max(MinScale, 1).
+func (kn *Knative) hpaConfig(spec ServiceSpec) kpa.Config {
+	perPod := 1.0
+	if spec.CapCores > 0 {
+		perPod = spec.CapCores
+	}
+	min := spec.MinScale
+	if min < 1 {
+		min = 1
+	}
+	return kpa.Config{
+		TargetValue:  perPod * kn.prm.HPATargetUtilization,
+		Tick:         kn.prm.HPASyncPeriod,
+		StableWindow: kn.prm.HPASyncPeriod,
+		MinScale:     min,
+		MaxScale:     spec.MaxScale,
+		InitialScale: spec.InitialScale,
+	}
+}
+
+// autoscalerLoop is the KPA-class reconcile loop: every tick it records the
+// instantaneous concurrency and the request rate over the elapsed tick into
+// the sliding windows, asks the kpa autoscaler for a recommendation, and
+// reconciles the replica count. All algorithmic state (windows, panic exit,
+// idle clock, delay window) lives in internal/kpa.
 func (s *Service) autoscalerLoop(p *sim.Proc) {
-	prm := s.kn.prm
-	var idleSince time.Duration = -1
+	tick := s.ascfg.Tick
+	agg := kpa.NewMetricAggregator(s.ascfg)
+	as := kpa.MustNew(s.ascfg)
+	lastRequests := 0
 	for !s.stopped {
-		p.Sleep(prm.AutoscalerTick)
+		p.Sleep(tick)
 		if s.stopped {
 			return
 		}
 		s.purgeDead()
 		now := p.Now()
-		s.samples = append(s.samples, sample{at: now, val: float64(s.inFlight)})
-		s.trimSamples(now - prm.StableWindow)
-
-		stableAvg := s.windowAvg(now - prm.StableWindow)
-		panicAvg := s.windowAvg(now - prm.PanicWindow)
-		target := s.spec.Target
-		desiredStable := int(math.Ceil(stableAvg / target))
-		desiredPanic := int(math.Ceil(panicAvg / target))
-
-		ready := s.ReadyPods()
-		if ready == 0 {
-			ready = 1
+		rps := float64(s.Requests-lastRequests) / tick.Seconds()
+		lastRequests = s.Requests
+		agg.Record(now, float64(s.inFlight), rps)
+		rec := as.Scale(agg.Snapshot(now, s.ReadyPods()), now)
+		if rec.Hold {
+			continue
 		}
-		if float64(desiredPanic) >= prm.PanicThreshold*float64(ready) {
-			s.panicEnd = now + prm.StableWindow
-		}
-		desired := desiredStable
-		if now < s.panicEnd && desiredPanic > desired {
-			desired = desiredPanic
-		}
-
-		// Scale-to-zero needs a sustained idle period plus the grace.
-		if desired == 0 && s.spec.MinScale == 0 {
-			if s.inFlight > 0 || stableAvg > 0 {
-				idleSince = -1
-				continue
-			}
-			if idleSince < 0 {
-				idleSince = now
-				continue
-			}
-			if now-idleSince < prm.ScaleToZeroGrace {
-				continue
-			}
-		} else {
-			idleSince = -1
-		}
-		s.scaleTo(desired)
+		s.scaleTo(rec.Desired)
 	}
 }
 
-func (s *Service) trimSamples(cutoff time.Duration) {
-	i := 0
-	for i < len(s.samples) && s.samples[i].at < cutoff {
-		i++
-	}
-	s.samples = s.samples[i:]
-}
-
-func (s *Service) windowAvg(cutoff time.Duration) float64 {
-	sum, n := 0.0, 0
-	for _, smp := range s.samples {
-		if smp.at >= cutoff {
-			sum += smp.val
-			n++
-		}
-	}
-	if n == 0 {
-		return float64(s.inFlight)
-	}
-	return sum / float64(n)
-}
-
-// hpaLoop is the HPA-class autoscaler: every sync period it estimates
-// per-pod CPU utilization (in-flight requests each consume up to one core
-// against the pod's quota) and reconciles towards the target utilization.
-// Unlike the KPA it has no panic mode and never scales to zero: the floor
-// is max(MinScale, 1).
+// hpaLoop is the HPA-class reconcile loop: every sync period it feeds the
+// instantaneous concurrency straight into the autoscaler (no windowing —
+// the kubernetes HPA averages over its own metric pipeline, modelled here
+// as the sync-period cadence itself).
 func (s *Service) hpaLoop(p *sim.Proc) {
-	prm := s.kn.prm
+	as := kpa.MustNew(s.ascfg)
 	for !s.stopped {
-		p.Sleep(prm.HPASyncPeriod)
+		p.Sleep(s.ascfg.Tick)
 		if s.stopped {
 			return
 		}
@@ -916,15 +929,16 @@ func (s *Service) hpaLoop(p *sim.Proc) {
 		if ready == 0 {
 			continue
 		}
-		perPod := 1.0
-		if s.spec.CapCores > 0 {
-			perPod = s.spec.CapCores
+		snap := kpa.Snapshot{
+			StableValue: float64(s.inFlight),
+			PanicValue:  float64(s.inFlight),
+			ReadyPods:   ready,
+			Valid:       true,
 		}
-		utilization := float64(s.inFlight) / (float64(ready) * perPod)
-		desired := int(math.Ceil(float64(ready) * utilization / prm.HPATargetUtilization))
-		if desired < 1 {
-			desired = 1
+		rec := as.Scale(snap, p.Now())
+		if rec.Hold {
+			continue
 		}
-		s.scaleTo(desired)
+		s.scaleTo(rec.Desired)
 	}
 }
