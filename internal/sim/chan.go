@@ -108,16 +108,24 @@ func (c *Chan[T]) RecvTimeout(p *Proc, d time.Duration) (val T, ok bool, arrived
 	}
 	w := &chanWaiter[T]{p: p}
 	c.recvq = append(c.recvq, w)
+	// The timeout callback must dequeue the waiter before waking it: a
+	// sender arriving in the same tick (after the timeout fired but before
+	// the receiver resumed) would otherwise find w still queued, hand it
+	// the value, and wake an already-ready process — a kernel panic. The
+	// symmetric race (send first, timeout second) is benign: the callback
+	// sees w.ok and does nothing, and the post-park Stop of the fired
+	// timer is a no-op on the recycled event (generation mismatch), never
+	// a double release.
 	timer := c.env.After(d, func() {
 		if !w.ok && !w.closed {
 			w.timedOut = true
+			c.removeRecvWaiter(w)
 			p.wake()
 		}
 	})
 	p.park()
 	timer.Stop()
 	if w.timedOut {
-		c.removeRecvWaiter(w)
 		var zero T
 		return zero, false, false
 	}

@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// The kernel's ordering contract: events with equal timestamps fire in the
+// order they were armed (ascending sequence number), no matter which
+// structure — heap, wheel, or same-timestamp chain — carried them. These
+// tests pin that contract at every structural boundary.
+
+// TestFIFOSameTimestampHeap: near-horizon events at one timestamp fire in
+// arm order. This exercises the chain-batching path: consecutive arms at
+// the same instant coalesce into one heap node.
+func TestFIFOSameTimestampHeap(t *testing.T) {
+	env := NewEnv(1)
+	var got []int
+	const n = 100
+	for i := 0; i < n; i++ {
+		i := i
+		env.At(time.Millisecond, func() { got = append(got, i) })
+	}
+	env.Run()
+	if len(got) != n {
+		t.Fatalf("fired %d, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("position %d fired id %d, want %d (full: %v)", i, v, i, got[:i+1])
+		}
+	}
+}
+
+// TestFIFOSameTimestampWheel: the same contract when the shared timestamp
+// is beyond the near horizon, so the chain lives in a wheel slot and is
+// promoted to the heap as one node.
+func TestFIFOSameTimestampWheel(t *testing.T) {
+	env := NewEnv(1)
+	var got []int
+	const n = 100
+	for i := 0; i < n; i++ {
+		i := i
+		env.At(200*time.Millisecond, func() { got = append(got, i) })
+	}
+	if env.wheel.count != 1 {
+		t.Fatalf("chain should coalesce into one wheel node, got count %d", env.wheel.count)
+	}
+	env.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("position %d fired id %d, want %d", i, v, i)
+		}
+	}
+}
+
+// TestFIFOInterleavedTimestamps: arms alternating between two timestamps
+// break the memo chain each time; order within each timestamp must still
+// be arm order.
+func TestFIFOInterleavedTimestamps(t *testing.T) {
+	env := NewEnv(1)
+	var got []int
+	for i := 0; i < 50; i++ {
+		i := i
+		at := time.Millisecond
+		if i%2 == 1 {
+			at = 2 * time.Millisecond
+		}
+		env.At(at, func() { got = append(got, i) })
+	}
+	env.Run()
+	// Evens (t=1ms) in order, then odds (t=2ms) in order.
+	want := make([]int, 0, 50)
+	for i := 0; i < 50; i += 2 {
+		want = append(want, i)
+	}
+	for i := 1; i < 50; i += 2 {
+		want = append(want, i)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFIFOArmFromCallbackSameTick: an event armed at time T from inside a
+// callback already running at T must fire after every event armed at T
+// beforehand — it has a higher sequence number, and joining the
+// in-flight batch out of order would violate the contract.
+func TestFIFOArmFromCallbackSameTick(t *testing.T) {
+	env := NewEnv(1)
+	var got []string
+	env.At(time.Millisecond, func() {
+		got = append(got, "first")
+		// Same-tick re-arm: At clamps t <= now to now.
+		env.At(time.Millisecond, func() { got = append(got, "nested") })
+	})
+	env.At(time.Millisecond, func() { got = append(got, "second") })
+	env.At(time.Millisecond, func() { got = append(got, "third") })
+	env.Run()
+	want := []string{"first", "second", "third", "nested"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestFIFOArmFromProcSameTick is the proc-context variant: a woken process
+// arming a zero-delay event must see it fire after the same-timestamp
+// events armed before the process woke.
+func TestFIFOArmFromProcSameTick(t *testing.T) {
+	env := NewEnv(1)
+	var got []string
+	env.Go("rearm", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		got = append(got, "proc")
+		env.At(p.Now(), func() { got = append(got, "nested") })
+	})
+	env.At(time.Millisecond, func() { got = append(got, "cb1") })
+	env.At(time.Millisecond, func() { got = append(got, "cb2") })
+	env.Run()
+	// cb1/cb2 are armed before Run, the proc's wake-up during it, so the
+	// 1ms chain is cb1, cb2, wake; the nested arm lands after all three.
+	want := []string{"cb1", "cb2", "proc", "nested"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestFIFOCrossStructureSameTimestamp: first arm at T lands in the wheel
+// (T is far); the clock then advances to within the near span and a second
+// arm at the same T goes straight to the heap. The wheel-resident event
+// has the lower sequence number and must fire first.
+func TestFIFOCrossStructureSameTimestamp(t *testing.T) {
+	env := NewEnv(1)
+	var got []string
+	const target = 500 * time.Millisecond
+	env.At(target, func() { got = append(got, "wheel-armed") }) // -> wheel
+	env.At(target-10*time.Millisecond, func() {
+		// now = 490ms; target is 10ms out, inside the near span -> heap.
+		env.At(target, func() { got = append(got, "heap-armed") })
+	})
+	env.Run()
+	want := []string{"wheel-armed", "heap-armed"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+// TestFIFOPromotionBoundary: two events armed back-to-back, one just
+// inside the near horizon (heap) and one exactly at it (wheel), one tick
+// apart. The wheel must promote its event before the heap event's
+// successor timestamp can fire — ordering across the boundary is by time,
+// not by structure.
+func TestFIFOPromotionBoundary(t *testing.T) {
+	env := NewEnv(1)
+	var got []time.Duration
+	record := func() { got = append(got, env.Now()) }
+	env.At(wheelNearSpan, record)   // wheel: d == wheelNearSpan
+	env.At(wheelNearSpan-1, record) // heap: d == wheelNearSpan-1
+	env.Run()
+	if len(got) != 2 || got[0] != wheelNearSpan-1 || got[1] != wheelNearSpan {
+		t.Fatalf("got %v, want [%v %v]", got, wheelNearSpan-1, wheelNearSpan)
+	}
+}
+
+// TestFIFOSameTimestampAcrossBoundaryTie: heap event and wheel event at
+// the IDENTICAL timestamp right at the promotion horizon. The wheel event
+// was armed first (lower seq) and must fire first even though the heap
+// already holds a node at that timestamp.
+func TestFIFOSameTimestampAcrossBoundaryTie(t *testing.T) {
+	env := NewEnv(1)
+	var got []string
+	// Armed at t=0 for wheelNearSpan: distance == near span -> wheel.
+	env.At(wheelNearSpan, func() { got = append(got, "wheel") })
+	// Advance the clock so the same absolute timestamp is now near.
+	env.At(wheelNearSpan/2, func() {
+		env.At(wheelNearSpan, func() { got = append(got, "heap") })
+	})
+	env.Run()
+	if len(got) != 2 || got[0] != "wheel" || got[1] != "heap" {
+		t.Fatalf("got %v, want [wheel heap]", got)
+	}
+}
+
+// TestFIFOChainSurvivesCancellation: cancelling interior and head members
+// of a same-timestamp chain must not reorder the survivors.
+func TestFIFOChainSurvivesCancellation(t *testing.T) {
+	env := NewEnv(1)
+	var got []int
+	const n = 20
+	timers := make([]Timer, n)
+	for i := 0; i < n; i++ {
+		i := i
+		timers[i] = env.At(3*time.Millisecond, func() { got = append(got, i) })
+	}
+	// Cancel head (0), interior (5..9), and tail (19).
+	for _, i := range []int{0, 5, 6, 7, 8, 9, 19} {
+		if !timers[i].Stop() {
+			t.Fatalf("Stop(%d) returned false on pending timer", i)
+		}
+	}
+	env.Run()
+	want := []int{1, 2, 3, 4, 10, 11, 12, 13, 14, 15, 16, 17, 18}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if env.ncancel != 0 || env.nqueued != 0 {
+		t.Errorf("accounting after run: ncancel=%d nqueued=%d, want 0, 0", env.ncancel, env.nqueued)
+	}
+}
+
+// TestFIFOProcsBeforeEvents pins the dispatch discipline the goldens
+// depend on: at a given timestamp, woken processes run before further
+// event callbacks fire, even when those callbacks arrived as one batched
+// chain.
+func TestFIFOProcsBeforeEvents(t *testing.T) {
+	env := NewEnv(1)
+	var got []string
+	// The sleeper is spawned first, so its wake event is armed before the
+	// armer's callbacks and heads the 1ms chain. After the wake delivers,
+	// the now-ready proc must run before the rest of the batch drains —
+	// blasting the whole chain in one go would reorder this to
+	// [cb1 cb2 proc] and break golden determinism.
+	env.Go("sleeper", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		got = append(got, "proc")
+	})
+	env.Go("armer", func(p *Proc) {
+		env.At(time.Millisecond, func() { got = append(got, "cb1") })
+		env.At(time.Millisecond, func() { got = append(got, "cb2") })
+	})
+	env.Run()
+	want := []string{"proc", "cb1", "cb2"}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}

@@ -67,16 +67,20 @@ func (f *Future[T]) GetTimeout(p *Proc, d time.Duration) (T, bool) {
 	}
 	w := &futureWaiter{p: p}
 	f.waiters = append(f.waiters, w)
+	// Dequeue before waking, as in Chan.RecvTimeout: a Set in the same
+	// tick as the timeout would otherwise wake the already-woken waiter
+	// and panic the kernel. The post-park Stop of a fired timer is a no-op
+	// on the recycled event (generation mismatch), never a double release.
 	timer := f.env.After(d, func() {
 		if !w.resolved {
 			w.timedOut = true
+			f.removeWaiter(w)
 			p.wake()
 		}
 	})
 	p.park()
 	timer.Stop()
 	if w.timedOut {
-		f.removeWaiter(w)
 		var zero T
 		return zero, false
 	}

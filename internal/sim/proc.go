@@ -73,7 +73,8 @@ func (p *Proc) String() string { return fmt.Sprintf("proc %d (%s)", p.id, p.name
 // process goes straight to sleep and costs no CPU.
 func (p *Proc) park() {
 	e := p.env
-	spin := e.ready.n == 0 && len(e.events) > 0 && e.events[0].proc == p
+	spin := e.ready.n == 0 && e.batch == nil && len(e.events) > 0 && e.events[0].proc == p &&
+		(e.wheel.count == 0 || e.wheel.next > e.events[0].at)
 	p.state = stateParked
 	e.yield.pass()
 	if spin {

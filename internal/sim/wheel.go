@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Hierarchical timer wheel for the far-future timer population.
+//
+// At cluster scale most pending events are long-lived timers — autoscaler
+// stable/panic windows, scale-down delays, retry backoffs, keepalive
+// expiries — that are armed far ahead and very often cancelled before they
+// fire. Keeping a million of those in the 4-ary heap costs O(log n) per
+// arm and per cancel-collection, and every near-term event pays the deeper
+// tree too. The wheel gives the far population O(1) arm and O(1) amortized
+// collection, and keeps the heap small: the heap only ever holds the near
+// horizon (events due within wheelNearSpan) plus whatever the wheel has
+// promoted.
+//
+// Layout: levels 1..wheelLevels-1, each a ring of 64 slots. Level l's slot
+// width is 2^(wheelBaseShift + 6l) ns, so level 1 slots are ~67 ms wide
+// covering ~4.3 s, level 2 ~4.3 s wide covering ~4.6 min, and level 7
+// covers the whole time.Duration range. An event at distance d lands in
+// the shallowest level whose 64 slots span d; because the level rule
+// guarantees d ≥ one slot width, an event never lands in the slot the
+// clock is currently inside, and the 64-slot ring never holds two live
+// "laps" of the same physical slot.
+//
+// The wheel is purely an index, not an ordering structure: slots hold
+// unordered event lists, and before the kernel fires anything at time T it
+// flushes every slot whose start is ≤ T — level events either drop into
+// the heap (which restores the exact (at, seq) order) or redistribute into
+// a strictly lower level, so each event cascades at most wheelLevels-1
+// times. The documented FIFO contract is therefore preserved bit-for-bit:
+// the heap remains the only structure that decides firing order, and a
+// wheel event is always back in the heap before its timestamp can fire.
+const (
+	wheelSlotBits  = 6
+	wheelSlots     = 1 << wheelSlotBits
+	wheelSlotMask  = wheelSlots - 1
+	wheelBaseShift = 20 // level-1 slots are 1<<26 ns ≈ 67 ms wide
+	wheelLevels    = 8  // level 7 spans 2^68 ns > max time.Duration
+
+	// wheelNearSpan is the near horizon: events due sooner than this stay
+	// in the heap. It equals one level-1 slot width.
+	wheelNearSpan = time.Duration(1) << (wheelBaseShift + wheelSlotBits)
+
+	wheelMaxTime = time.Duration(1<<63 - 1)
+)
+
+// timerWheel indexes far-future events by expiry slot. It is embedded in
+// Env and, like the rest of the kernel, is confined to the driver
+// goroutine — no locking.
+type timerWheel struct {
+	slot [wheelLevels][wheelSlots][]*event
+	occ  [wheelLevels]uint64 // per-level bitmap of non-empty slots
+	// flushedTo anchors the ring→absolute-slot mapping: every slot whose
+	// start is ≤ flushedTo is empty. It only moves forward while the wheel
+	// is occupied; when the wheel drains it re-anchors at the next insert.
+	flushedTo time.Duration
+	// next is a conservative lower bound on the earliest occupied slot
+	// start, so the hot pop path can skip the wheel with one comparison.
+	next time.Duration
+	// count is the number of chain nodes resident in the wheel. Nodes,
+	// not events: members appended to a resident node's chain (see
+	// Env.schedule) ride along with their head, so node count is the
+	// invariant that is cheap to keep exact.
+	count int
+}
+
+func (w *timerWheel) init() { w.next = wheelMaxTime }
+
+// levelFor returns the wheel level for an event at distance d ≥
+// wheelNearSpan: the shallowest level whose 64 slots span d.
+func levelFor(d time.Duration) int {
+	return (bits.Len64(uint64(d)) - wheelBaseShift - 1) / wheelSlotBits
+}
+
+// insert files ev (a chain head, possibly carrying same-timestamp chain
+// members) under its expiry slot. The caller guarantees ev.at - now ≥
+// wheelNearSpan.
+func (w *timerWheel) insert(ev *event, now time.Duration) {
+	if w.count == 0 {
+		// Re-anchor: the mapping invariant ("slots ≤ flushedTo are empty")
+		// is vacuous while the wheel is empty, but flushedTo may be far in
+		// the past if the clock advanced with no wheel traffic.
+		w.flushedTo = now
+		w.next = wheelMaxTime
+	}
+	l := levelFor(ev.at - now)
+	s := uint(wheelBaseShift + l*wheelSlotBits)
+	num := ev.at >> s
+	i := int(num) & wheelSlotMask
+	w.slot[l][i] = append(w.slot[l][i], ev)
+	w.occ[l] |= 1 << uint(i)
+	w.count++
+	if start := num << s; start < w.next {
+		w.next = start
+	}
+}
+
+// nextStart recomputes the earliest occupied slot start across all levels.
+func (w *timerWheel) nextStart() time.Duration {
+	min := wheelMaxTime
+	for l := 1; l < wheelLevels; l++ {
+		if w.occ[l] == 0 {
+			continue
+		}
+		s := uint(wheelBaseShift + l*wheelSlotBits)
+		a := (w.flushedTo >> s) + 1 // earliest possible live absolute slot
+		rot := bits.RotateLeft64(w.occ[l], -int(uint64(a)&wheelSlotMask))
+		start := (a + time.Duration(bits.TrailingZeros64(rot))) << s
+		if start < min {
+			min = start
+		}
+	}
+	return min
+}
+
+// flushTo empties every slot whose start is ≤ t. Due (and nearly due)
+// events drop into the heap; events still more than wheelNearSpan out
+// redistribute into a strictly lower level. Cancelled events are released
+// here — this is the wheel's lazy-drop point, and it must keep the
+// environment's cancellation accounting exact (see Env.noteCancelled).
+//
+// Levels are walked top-down so a redistribution from level l into level
+// l' < l is re-examined in the same pass if its new slot is also due.
+func (e *Env) wheelFlushTo(t time.Duration) {
+	w := &e.wheel
+	for l := wheelLevels - 1; l >= 1; l-- {
+		if w.occ[l] == 0 {
+			continue
+		}
+		s := uint(wheelBaseShift + l*wheelSlotBits)
+		a := (w.flushedTo >> s) + 1
+		target := t >> s // flush absolute slots ≤ target
+		if target < a {
+			continue
+		}
+		maxJ := target - a
+		if maxJ > wheelSlotMask {
+			maxJ = wheelSlotMask
+		}
+		rot := bits.RotateLeft64(w.occ[l], -int(uint64(a)&wheelSlotMask))
+		for rot != 0 {
+			j := time.Duration(bits.TrailingZeros64(rot))
+			if j > maxJ {
+				break
+			}
+			rot &= rot - 1
+			i := int(a+j) & wheelSlotMask
+			list := w.slot[l][i]
+			w.slot[l][i] = list[:0]
+			w.occ[l] &^= 1 << uint(i)
+			for k, ev := range list {
+				list[k] = nil
+				w.count--
+				if ev = e.compactNode(ev); ev == nil {
+					continue
+				}
+				if d := ev.at - t; d < wheelNearSpan {
+					e.nearPush(ev)
+				} else {
+					w.insert(ev, t)
+				}
+			}
+		}
+	}
+	if t > w.flushedTo {
+		w.flushedTo = t
+	}
+	w.next = w.nextStart()
+}
+
+// syncWheel promotes wheel slots into the heap until the heap's minimum is
+// the global minimum, i.e. no occupied wheel slot could hold an event due
+// at or before the heap top. With an empty heap it promotes the earliest
+// slot(s) until the heap is populated or the wheel drains.
+func (e *Env) syncWheel() {
+	w := &e.wheel
+	for w.count > 0 {
+		if len(e.events) > 0 {
+			if w.next > e.events[0].at {
+				return
+			}
+			e.wheelFlushTo(e.events[0].at)
+			continue
+		}
+		e.wheelFlushTo(w.next)
+	}
+}

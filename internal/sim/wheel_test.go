@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWheelFarTimersLandInWheel: events beyond the near horizon must not
+// occupy the heap, and must still fire at their exact timestamps.
+func TestWheelFarTimersLandInWheel(t *testing.T) {
+	env := NewEnv(1)
+	var fired []time.Duration
+	cb := func() { fired = append(fired, env.Now()) }
+	ats := []time.Duration{
+		wheelNearSpan,              // first wheel-eligible instant
+		500 * time.Millisecond,     // level 1
+		10 * time.Second,           // level 2
+		5 * time.Minute,            // level 3
+		3 * time.Hour,              // level 3, deep slot
+		24 * time.Hour,             // level 4
+		30 * 24 * time.Hour,        // level 5
+		3 * 365 * 24 * time.Hour,   // level 6
+		200 * 365 * 24 * time.Hour, // level 7
+	}
+	for _, at := range ats {
+		env.At(at, cb)
+	}
+	if len(env.events) != 0 {
+		t.Fatalf("far timers leaked into the heap: %d nodes", len(env.events))
+	}
+	if env.wheel.count != len(ats) {
+		t.Fatalf("wheel.count = %d, want %d", env.wheel.count, len(ats))
+	}
+	env.Run()
+	if len(fired) != len(ats) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(ats))
+	}
+	for i, at := range ats {
+		if fired[i] != at {
+			t.Errorf("event %d fired at %v, want %v", i, fired[i], at)
+		}
+	}
+	if env.wheel.count != 0 || env.nqueued != 0 {
+		t.Errorf("wheel.count = %d, nqueued = %d after drain, want 0, 0",
+			env.wheel.count, env.nqueued)
+	}
+}
+
+// TestWheelNearTimersStayInHeap: anything due within the near horizon
+// bypasses the wheel entirely.
+func TestWheelNearTimersStayInHeap(t *testing.T) {
+	env := NewEnv(1)
+	env.At(wheelNearSpan-1, func() {})
+	env.After(time.Millisecond, func() {})
+	if env.wheel.count != 0 {
+		t.Fatalf("near timers leaked into the wheel: count = %d", env.wheel.count)
+	}
+	if len(env.events) != 2 {
+		t.Fatalf("heap nodes = %d, want 2", len(env.events))
+	}
+	env.Run()
+}
+
+// TestWheelLevelFor pins the level rule: the shallowest level whose 64
+// slots span the distance, which also guarantees at least one slot-width
+// of clearance so an event never lands in the clock's current slot.
+func TestWheelLevelFor(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want int
+	}{
+		{wheelNearSpan, 1},
+		{wheelNearSpan<<wheelSlotBits - 1, 1},
+		{wheelNearSpan << wheelSlotBits, 2},
+		{wheelNearSpan << (2 * wheelSlotBits), 3},
+		{time.Duration(1<<63 - 1), 7},
+	} {
+		if got := levelFor(tc.d); got != tc.want {
+			t.Errorf("levelFor(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+// TestWheelLongIdleJump: a single event hours out with nothing in between
+// must fire exactly, without the kernel grinding through empty slots.
+func TestWheelLongIdleJump(t *testing.T) {
+	env := NewEnv(1)
+	fired := time.Duration(-1)
+	env.At(7*time.Hour+13*time.Millisecond, func() { fired = env.Now() })
+	env.Run()
+	if want := 7*time.Hour + 13*time.Millisecond; fired != want {
+		t.Errorf("fired at %v, want %v", fired, want)
+	}
+}
+
+// TestWheelReanchorAfterDrain: once the wheel drains and the clock moves
+// on, a fresh far-future insert must re-anchor the slot mapping — a stale
+// anchor would make the kernel flush the new event's slot immediately and
+// spin redistributing it.
+func TestWheelReanchorAfterDrain(t *testing.T) {
+	env := NewEnv(1)
+	order := []int{}
+	env.At(200*time.Millisecond, func() { order = append(order, 1) })
+	env.Run() // wheel drains, now = 200ms
+	env.At(env.Now()+30*time.Minute, func() { order = append(order, 2) })
+	if env.wheel.count != 1 {
+		t.Fatalf("re-insert missed the wheel: count = %d", env.wheel.count)
+	}
+	env.Run()
+	if len(order) != 2 || order[1] != 2 {
+		t.Fatalf("order = %v, want [1 2]", order)
+	}
+	if want := 200*time.Millisecond + 30*time.Minute; env.Now() != want {
+		t.Errorf("end = %v, want %v", env.Now(), want)
+	}
+}
+
+// TestWheelRunUntilHorizon: RunUntil must stop at the horizon with
+// far-future events still parked in the wheel, keep Now exact, and resume
+// correctly.
+func TestWheelRunUntilHorizon(t *testing.T) {
+	env := NewEnv(1)
+	fired := false
+	env.At(10*time.Second, func() { fired = true })
+	env.RunUntil(3 * time.Second)
+	if fired {
+		t.Fatal("event fired before its time")
+	}
+	if env.Now() != 3*time.Second {
+		t.Fatalf("Now = %v after horizon stop, want 3s", env.Now())
+	}
+	env.RunUntil(10 * time.Second) // events at exactly t still fire
+	if !fired {
+		t.Fatal("event at the horizon boundary did not fire")
+	}
+}
+
+// TestWheelCancelledLazyDrop: cancelling a wheel-resident timer releases
+// it at flush time and the accounting drains to zero — cancelled events
+// must not survive as phantom ncancel weight (the spurious-compaction
+// bug class).
+func TestWheelCancelledLazyDrop(t *testing.T) {
+	env := NewEnv(1)
+	fired := 0
+	tm := env.At(500*time.Millisecond, func() { fired++ })
+	env.At(600*time.Millisecond, func() {}) // keeps the run going past the cancel
+	if !tm.Stop() {
+		t.Fatal("Stop of pending wheel timer returned false")
+	}
+	if env.ncancel != 1 {
+		t.Fatalf("ncancel = %d after Stop, want 1", env.ncancel)
+	}
+	env.Run()
+	if fired != 0 {
+		t.Error("cancelled wheel timer fired")
+	}
+	if env.ncancel != 0 || env.nqueued != 0 || env.wheel.count != 0 {
+		t.Errorf("accounting after drain: ncancel=%d nqueued=%d wheel=%d, want all 0",
+			env.ncancel, env.nqueued, env.wheel.count)
+	}
+}
+
+// TestWheelStopSemanticsAcrossPromotion: a Timer handle stays valid while
+// its event migrates wheel→heap, and goes stale (Stop == false) once it
+// fires — the generation contract is structure-independent.
+func TestWheelStopSemanticsAcrossPromotion(t *testing.T) {
+	env := NewEnv(1)
+	fired := 0
+	tm := env.At(300*time.Millisecond, func() { fired++ })
+	// Drive the clock close enough that the event has been promoted into
+	// the heap (the promotion happens lazily, at latest when it fires).
+	env.RunUntil(299 * time.Millisecond)
+	if !tm.Stop() {
+		t.Fatal("Stop of a pending (possibly promoted) timer returned false")
+	}
+	env.Run()
+	if fired != 0 {
+		t.Error("stopped timer fired")
+	}
+	tm2 := env.At(env.Now()+200*time.Millisecond, func() { fired++ })
+	env.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if tm2.Stop() {
+		t.Error("Stop after fire returned true for a wheel-armed timer")
+	}
+}
+
+// TestWheelDifferentialOrdering is the strongest wheel contract test: an
+// adversarial arm/cancel/sleep script must produce a bit-identical firing
+// sequence with the wheel enabled and disabled. The wheel is an index, not
+// an ordering structure; any divergence here is a kernel bug.
+func TestWheelDifferentialOrdering(t *testing.T) {
+	script := func(env *Env) (seq []int64) {
+		rng := NewRNG(99)
+		id := 0
+		var timers []Timer
+		record := func(id int) func() {
+			return func() { seq = append(seq, int64(id), int64(env.Now())) }
+		}
+		// Phase 1: a storm from scheduler context across all horizons,
+		// including exact duplicates that exercise the chain path.
+		for i := 0; i < 2000; i++ {
+			var at time.Duration
+			switch rng.Intn(4) {
+			case 0: // near
+				at = time.Duration(rng.Intn(int(wheelNearSpan)))
+			case 1: // level 1-2
+				at = time.Duration(rng.Intn(int(10 * time.Second)))
+			case 2: // deep
+				at = time.Duration(rng.Intn(int(2 * time.Hour)))
+			case 3: // duplicate timestamps: fan-out shape
+				at = time.Duration(1+rng.Intn(20)) * 250 * time.Millisecond
+			}
+			timers = append(timers, env.At(at, record(id)))
+			id++
+		}
+		// Cancel a third of them, interleaved, so lazy drops and eager
+		// compactions both happen in both configurations.
+		for i, tm := range timers {
+			if i%3 == 0 {
+				tm.Stop()
+			}
+		}
+		// Phase 2: processes re-arming from inside the run, crossing the
+		// wheel horizon in both directions.
+		for w := 0; w < 8; w++ {
+			w := w
+			env.Go("walker", func(p *Proc) {
+				r := NewRNG(uint64(w))
+				for j := 0; j < 50; j++ {
+					p.Sleep(time.Duration(1+r.Intn(int(3*time.Second))) * 2)
+					myID := id + w*1000 + j
+					env.At(p.Now()+time.Duration(r.Intn(int(time.Minute))), record(myID))
+				}
+			})
+		}
+		env.Run()
+		return seq
+	}
+	a := NewEnv(7)
+	got := script(a)
+	b := NewEnv(7)
+	b.DisableTimerWheel()
+	want := script(b)
+	if len(got) != len(want) {
+		t.Fatalf("firing sequences differ in length: wheel %d vs heap %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("firing sequences diverge at %d: wheel %d vs heap %d", i, got[i], want[i])
+		}
+	}
+	if a.nqueued != b.nqueued || a.ncancel != b.ncancel {
+		t.Errorf("accounting diverged: nqueued %d/%d ncancel %d/%d",
+			a.nqueued, b.nqueued, a.ncancel, b.ncancel)
+	}
+}

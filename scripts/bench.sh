@@ -17,7 +17,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-PATTERN="${BENCH_PATTERN:-SimKernelEvents|FluidServer|Fig1ContainerReuse|Fig2ParallelScaling|ColdStart|RunnerWorkers}"
+PATTERN="${BENCH_PATTERN:-SimKernelEvents|SimKernelMillionTimers|SimKernelTimerChurn|FluidServer|Fig1ContainerReuse|Fig2ParallelScaling|ColdStart|RunnerWorkers}"
 COUNT="${BENCH_COUNT:-6}"
 BENCHTIME="${BENCH_TIME:-1s}"
 OUT_DIR="${OUT_DIR:-bench}"
@@ -27,8 +27,22 @@ mkdir -p "$OUT_DIR"
 RAW="$OUT_DIR/BENCH_${SHA}.txt"
 JSON="$OUT_DIR/BENCH_${SHA}.json"
 
-echo "benchmarking '${PATTERN}' count=${COUNT} benchtime=${BENCHTIME} -> ${RAW}" >&2
-go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$RAW"
+if [ -n "${BENCH_INPUT:-}" ]; then
+    # Test hook: parse a pre-recorded raw file instead of running go test.
+    cp "$BENCH_INPUT" "$RAW"
+else
+    echo "benchmarking '${PATTERN}' count=${COUNT} benchtime=${BENCHTIME} -> ${RAW}" >&2
+    go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$RAW"
+fi
+
+# A pattern that matches nothing still exits 0 from `go test` and would
+# produce a snapshot with an empty benchmark list — which a later benchstat
+# compare silently treats as "no regressions". Fail loudly instead.
+if [ "$(grep -c '^Benchmark' "$RAW" || true)" -eq 0 ]; then
+    echo "error: pattern '${PATTERN}' matched no benchmarks; no snapshot written" >&2
+    rm -f "$RAW" "$JSON"
+    exit 1
+fi
 
 # Parse the raw output: average repeated counts per benchmark, keep custom
 # ReportMetric columns (unit taken from the trailing token, e.g. "reps/s").
