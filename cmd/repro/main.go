@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	repro [flags] {fig1|fig2|fig5|fig6|coldstart|config|chaos|overload|traffic|all}
+//	repro [flags] {fig1|fig2|fig5|fig6|coldstart|config|chaos|overload|traffic|execmode|all}
 //
 // Flags:
 //
@@ -11,6 +11,8 @@
 //	-seed N    base random seed (default 1)
 //	-quick     down-scaled sweeps for a fast smoke run
 //	-workers N replication-runner pool size (0 = GOMAXPROCS, 1 = sequential)
+//	-mode M    workflow execution mode: poll (default), decentralized, or
+//	           trigger; unknown values fail fast listing the valid modes
 //
 // Results are identical at any -workers value: repetitions are isolated
 // simulations fanned across the pool and merged back in repetition order.
@@ -33,8 +35,9 @@ func main() {
 	quick := flag.Bool("quick", false, "down-scaled sweeps")
 	workers := flag.Int("workers", 0, "parallel replication workers (0 = GOMAXPROCS, 1 = sequential)")
 	traceOut := flag.String("trace-out", "", "with the trace experiment: write Chrome trace_event JSON to <prefix>-<mode>.json")
+	execMode := flag.String("mode", "", "workflow execution mode: poll (default), decentralized, or trigger")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: repro [flags] {fig1|fig2|fig5|fig6|coldstart|config|all|datamove|resize|redirect|clustering|montage|isolation|placement|chaos|overload|traffic|trace|ext}\n")
+		fmt.Fprintf(os.Stderr, "usage: repro [flags] {fig1|fig2|fig5|fig6|coldstart|config|all|datamove|resize|redirect|clustering|montage|isolation|placement|chaos|overload|traffic|trace|execmode|ext}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -42,10 +45,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// Validate the mode up front: a typo must fail the run here, naming the
+	// valid modes, never fall back to the poll loop silently.
+	if _, err := config.ParseExecMode(*execMode); err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		os.Exit(2)
+	}
 
 	o := experiments.DefaultOptions()
 	o.Seed = *seed
 	o.Quick = *quick
+	o.Prm.ExecMode = *execMode
 	if *quick {
 		o.Reps = 2
 	}
@@ -89,6 +99,8 @@ func main() {
 			return writeResult(w, experiments.Overload(o))
 		case "traffic":
 			return writeResult(w, experiments.Traffic(o))
+		case "execmode":
+			return writeResult(w, experiments.ExecModeStudy(o))
 		case "trace":
 			res := experiments.Trace(o)
 			if *traceOut != "" {

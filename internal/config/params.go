@@ -184,8 +184,17 @@ type Params struct {
 	CondorJitterFrac float64
 	// DAGManPoll is the interval at which the workflow engine notices
 	// completed jobs and submits newly ready ones (condor_dagman default
-	// ≈ 5 s).
+	// ≈ 5 s). Only the poll execution mode quantizes releases to this
+	// interval; see ExecMode.
 	DAGManPoll time.Duration
+	// ExecMode selects the wms engine's release path: "poll" (default when
+	// empty; the DAGMan-style central loop, the seed behaviour),
+	// "decentralized" (Wukong-style: a completing task directly enqueues
+	// its ready successors), or "trigger" (Triggerflow-style: completions
+	// publish events through the knative eventing broker and filtered
+	// triggers release successors). Parse with ParseExecMode; unknown
+	// values fail the run, never fall back to poll.
+	ExecMode string
 	// JobFailureProb injects transient job failures (starter crashes,
 	// evictions) with this per-job probability, exercising the WMS retry
 	// machinery (Pegasus's fault tolerance, §II-C). 0 disables injection.

@@ -84,6 +84,11 @@ func TestSeedCompatGoldens(t *testing.T) {
 		{"fig1", func(o Options) tableWriter { return Fig1(o) }},
 		{"fig5", func(o Options) tableWriter { return Fig5(o) }},
 		{"overload", func(o Options) tableWriter { return Overload(o) }},
+		// trace and chaos were captured immediately before the engine's
+		// execution-mode refactor: they pin the poll-mode release path (the
+		// default) to the seed loop's byte-exact traces and span orderings.
+		{"trace", func(o Options) tableWriter { return Trace(o) }},
+		{"chaos", func(o Options) tableWriter { return Chaos(o) }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

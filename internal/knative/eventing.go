@@ -2,6 +2,7 @@ package knative
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/cluster"
@@ -34,29 +35,37 @@ type Event struct {
 // process, so it may block (invoke functions, run workflows).
 type Handler func(p *sim.Proc, ev Event)
 
-// Trigger subscribes a handler to events of one type ("" matches all).
+// Trigger subscribes a handler to events of one type ("" matches all),
+// optionally narrowed to subjects with a given prefix.
 type Trigger struct {
 	Name      string
 	TypeMatch string
-	Handler   Handler
+	// SubjectPrefix, when non-empty, delivers only events whose Subject
+	// starts with it (e.g. one workflow's "<name>/" task namespace).
+	SubjectPrefix string
+	Handler       Handler
 
 	Delivered int
 }
 
 func (tr *Trigger) matches(ev Event) bool {
-	return tr.TypeMatch == "" || tr.TypeMatch == ev.Type
+	if tr.TypeMatch != "" && tr.TypeMatch != ev.Type {
+		return false
+	}
+	return tr.SubjectPrefix == "" || strings.HasPrefix(ev.Subject, tr.SubjectPrefix)
 }
 
 // Broker is an eventing broker hosted on the control-plane node. Events
 // are accepted into a store-and-forward queue and dispatched asynchronously
 // to every matching trigger, each delivery in its own process.
 type Broker struct {
-	kn       *Knative
-	name     string
-	queue    *sim.Chan[Event]
-	triggers []*Trigger
-	accepted int
-	stopped  bool
+	kn         *Knative
+	name       string
+	queue      *sim.Chan[Event]
+	triggers   []*Trigger
+	accepted   int
+	dispatched int
+	stopped    bool
 }
 
 // NewBroker creates a broker and starts its dispatch loop.
@@ -69,9 +78,26 @@ func (kn *Knative) NewBroker(name string) *Broker {
 
 // Subscribe registers a trigger. typeMatch "" receives every event.
 func (b *Broker) Subscribe(name, typeMatch string, h Handler) *Trigger {
-	tr := &Trigger{Name: name, TypeMatch: typeMatch, Handler: h}
+	return b.SubscribeFiltered(name, typeMatch, "", h)
+}
+
+// SubscribeFiltered registers a trigger narrowed to events whose Subject has
+// the given prefix (both "" filters match everything).
+func (b *Broker) SubscribeFiltered(name, typeMatch, subjectPrefix string, h Handler) *Trigger {
+	tr := &Trigger{Name: name, TypeMatch: typeMatch, SubjectPrefix: subjectPrefix, Handler: h}
 	b.triggers = append(b.triggers, tr)
 	return tr
+}
+
+// Unsubscribe removes a trigger; later events are no longer delivered to it.
+// Deliveries already fanned out keep running.
+func (b *Broker) Unsubscribe(tr *Trigger) {
+	for i, x := range b.triggers {
+		if x == tr {
+			b.triggers = append(b.triggers[:i], b.triggers[i+1:]...)
+			return
+		}
+	}
 }
 
 // Publish sends an event to the broker from the given node, paying the
@@ -85,6 +111,13 @@ func (b *Broker) Publish(p *sim.Proc, fromNode string, ev Event) error {
 	if ev.DataBytes > 0 {
 		b.kn.cl.Net.Transfer(p, fromNode, cluster.SubmitNodeName, ev.DataBytes)
 	}
+	// The ingress hop parked this process; the broker may have shut down in
+	// the meantime, closing the queue. Re-check before enqueueing: sending
+	// on the closed queue would panic, and counting the event as accepted
+	// would overstate intake by an event that was never dispatched.
+	if b.stopped {
+		return fmt.Errorf("knative: broker %s shut down during publish", b.name)
+	}
 	ev.At = p.Now()
 	b.accepted++
 	b.queue.TrySend(ev)
@@ -94,6 +127,11 @@ func (b *Broker) Publish(p *sim.Proc, fromNode string, ev Event) error {
 // Accepted returns how many events the broker has taken in.
 func (b *Broker) Accepted() int { return b.accepted }
 
+// Dispatched returns how many accepted events the dispatch loop has fanned
+// out to triggers (matching or not). After a drained shutdown it equals
+// Accepted — the broker never drops or double-counts an accepted event.
+func (b *Broker) Dispatched() int { return b.dispatched }
+
 // dispatchLoop fans each event out to matching triggers.
 func (b *Broker) dispatchLoop(p *sim.Proc) {
 	for {
@@ -101,6 +139,7 @@ func (b *Broker) dispatchLoop(p *sim.Proc) {
 		if !ok {
 			return
 		}
+		b.dispatched++
 		for _, tr := range b.triggers {
 			if !tr.matches(ev) {
 				continue
@@ -114,7 +153,11 @@ func (b *Broker) dispatchLoop(p *sim.Proc) {
 	}
 }
 
-// shutdown closes the queue so the dispatch loop drains and exits.
+// shutdown closes the queue so the dispatch loop drains and exits. Events
+// already accepted stay in the queue and are still dispatched (sim.Chan
+// drains buffered values before reporting closed); publishers blocked in
+// their ingress hop observe the stop on resume and get an error instead of
+// a send on the closed queue.
 func (b *Broker) shutdown() {
 	if !b.stopped {
 		b.stopped = true

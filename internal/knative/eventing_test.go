@@ -120,3 +120,96 @@ func TestEventTriggeredInvocation(t *testing.T) {
 		t.Errorf("event-triggered invocations = %d, want 4", served)
 	}
 }
+
+// TestShutdownRacesInflightPublish pins the store-and-forward contract when
+// shutdown lands while a Publish is parked in its ingress network hop: the
+// resumed publisher must get an error back — not panic on the closed queue —
+// and the event must not be counted as accepted, so intake and dispatch
+// reconcile exactly.
+func TestShutdownRacesInflightPublish(t *testing.T) {
+	f := newFixture(t)
+	broker := f.kn.NewBroker("default")
+	delivered := 0
+	broker.Subscribe("sink", "", func(p *sim.Proc, ev Event) { delivered++ })
+	var raceErr error
+	f.env.Go("producer", func(p *sim.Proc) {
+		// Blocks in the ingress hop; the stopper shuts the broker down in
+		// the same tick, so the publisher resumes against a closed queue.
+		raceErr = broker.Publish(p, "worker1", Event{Type: "x"})
+	})
+	f.env.Go("stopper", func(p *sim.Proc) {
+		f.kn.Shutdown()
+	})
+	f.env.Run()
+	if raceErr == nil {
+		t.Error("publish that raced shutdown reported success")
+	}
+	if delivered != 0 {
+		t.Errorf("delivered = %d events from a refused publish", delivered)
+	}
+	if broker.Accepted() != 0 {
+		t.Errorf("Accepted = %d, want 0: refused event was counted", broker.Accepted())
+	}
+	if broker.Dispatched() != broker.Accepted() {
+		t.Errorf("Dispatched = %d, Accepted = %d: counts diverge", broker.Dispatched(), broker.Accepted())
+	}
+}
+
+// TestShutdownDrainsAcceptedEvents pins the other half of the contract:
+// events the broker accepted before shutdown are still dispatched — closing
+// the queue drains it, it does not drop buffered events.
+func TestShutdownDrainsAcceptedEvents(t *testing.T) {
+	f := newFixture(t)
+	broker := f.kn.NewBroker("default")
+	delivered := 0
+	broker.Subscribe("sink", "", func(p *sim.Proc, ev Event) { delivered++ })
+	f.env.Go("producer", func(p *sim.Proc) {
+		_ = broker.Publish(p, "worker1", Event{Type: "a"})
+		_ = broker.Publish(p, "worker1", Event{Type: "b"})
+		// Shut down immediately: at least the second event is still queued
+		// (the dispatch loop has not run since its acceptance).
+		f.kn.Shutdown()
+	})
+	f.env.Run()
+	if broker.Accepted() != 2 {
+		t.Fatalf("Accepted = %d, want 2", broker.Accepted())
+	}
+	if delivered != 2 {
+		t.Errorf("delivered = %d, want 2: accepted events dropped at shutdown", delivered)
+	}
+	if broker.Dispatched() != 2 {
+		t.Errorf("Dispatched = %d, want 2", broker.Dispatched())
+	}
+}
+
+func TestSubjectPrefixFilterAndUnsubscribe(t *testing.T) {
+	f := newFixture(t)
+	broker := f.kn.NewBroker("default")
+	var wfA, all []string
+	trig := broker.SubscribeFiltered("wf-a", "task.settled", "wfA/", func(p *sim.Proc, ev Event) {
+		wfA = append(wfA, ev.Subject)
+	})
+	broker.Subscribe("audit", "", func(p *sim.Proc, ev Event) {
+		all = append(all, ev.Subject)
+	})
+	f.env.Go("producer", func(p *sim.Proc) {
+		_ = broker.Publish(p, "worker1", Event{Type: "task.settled", Subject: "wfA/t1"})
+		_ = broker.Publish(p, "worker1", Event{Type: "task.settled", Subject: "wfB/t1"})
+		_ = broker.Publish(p, "worker1", Event{Type: "other", Subject: "wfA/t2"})
+		p.Sleep(time.Second)
+		broker.Unsubscribe(trig)
+		_ = broker.Publish(p, "worker1", Event{Type: "task.settled", Subject: "wfA/t3"})
+		p.Sleep(time.Second)
+		f.kn.Shutdown()
+	})
+	f.env.Run()
+	if len(wfA) != 1 || wfA[0] != "wfA/t1" {
+		t.Errorf("filtered trigger got %v, want [wfA/t1]", wfA)
+	}
+	if len(all) != 4 {
+		t.Errorf("audit trigger got %d events, want 4", len(all))
+	}
+	if trig.Delivered != 1 {
+		t.Errorf("Delivered = %d, want 1", trig.Delivered)
+	}
+}

@@ -38,6 +38,11 @@ const (
 	// StagePoll is DAGMan poll quantization: a task is finished but the
 	// engine has not observed it yet.
 	StagePoll Stage = "dagman-poll"
+	// StageRelease is the event-driven release path (decentralized and
+	// trigger execution modes): zero-duration markers stamped when a
+	// completion releases successors, so the bucket stays empty under the
+	// poll mode and golden outputs are unchanged.
+	StageRelease Stage = "release"
 	// StageRetryWait is backoff between a task's failed attempt and its
 	// resubmission.
 	StageRetryWait Stage = "retry-wait"
@@ -56,8 +61,8 @@ const (
 func Stages() []Stage {
 	return []Stage{
 		StageQueue, StageXfer, StagePull, StageContainer, StageColdStart,
-		StageExec, StageStaging, StageOverhead, StagePoll, StageRetryWait,
-		StageShed, StageIdle, StageOther,
+		StageExec, StageStaging, StageOverhead, StagePoll, StageRelease,
+		StageRetryWait, StageShed, StageIdle, StageOther,
 	}
 }
 
@@ -122,6 +127,8 @@ func StageOf(sp *Span) Stage {
 			return StageOverhead
 		case "task":
 			return StagePoll // self time = completion → poll observation
+		case "release":
+			return StageRelease
 		}
 	}
 	return StageOther

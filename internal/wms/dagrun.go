@@ -1,0 +1,254 @@
+package wms
+
+import (
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/condor"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// dagRun is the pure, mode-agnostic core of one workflow execution: ready-set
+// maintenance, dependency tracking, attempt/retry accounting, hedge tracking,
+// and result assembly. The three execution modes (poll, decentralized,
+// trigger) drive the same bookkeeping and differ only in *who* observes a
+// completion and *when* successors are released — see exec_poll.go and
+// exec_event.go.
+type dagRun struct {
+	e     *Engine
+	wf    *Workflow
+	res   *RunResult
+	modes map[string]Mode
+
+	done      map[string]bool
+	attempts  map[string]int
+	inflight  map[string]*flight
+	notBefore map[string]time.Duration // poll-mode retry backoff gate
+
+	tracer      *trace.Tracer
+	wfSpan      *trace.Span
+	absDeadline time.Duration
+}
+
+func newDagRun(e *Engine, wf *Workflow, modes map[string]Mode, res *RunResult, tracer *trace.Tracer, wfSpan *trace.Span) *dagRun {
+	return &dagRun{
+		e:         e,
+		wf:        wf,
+		res:       res,
+		modes:     modes,
+		done:      make(map[string]bool, wf.Len()),
+		attempts:  make(map[string]int, wf.Len()),
+		inflight:  make(map[string]*flight),
+		notBefore: make(map[string]time.Duration),
+		tracer:    tracer,
+		wfSpan:    wfSpan,
+	}
+}
+
+// abandonedJobs counts jobs still in flight — at abort time their results
+// are discarded and the rescue DAG re-runs those tasks.
+func (d *dagRun) abandonedJobs() int {
+	n := 0
+	for _, f := range d.inflight {
+		n += len(f.jobs)
+	}
+	return n
+}
+
+// readyAt reports whether a task can be submitted at time now: not finished,
+// not in flight, past its retry backoff gate, and with every parent done.
+func (d *dagRun) readyAt(now time.Duration, id string) bool {
+	if d.done[id] || d.inflight[id] != nil || now < d.notBefore[id] {
+		return false
+	}
+	for _, par := range d.wf.Parents(id) {
+		if !d.done[par] {
+			return false
+		}
+	}
+	return true
+}
+
+// inflightIDs returns the in-flight task IDs in sorted order (the poll
+// loop's deterministic scan order).
+func (d *dagRun) inflightIDs() []string {
+	ids := make([]string, 0, len(d.inflight))
+	for id := range d.inflight {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// winnerIndex returns the index of the earliest-finishing completed copy of
+// the flight, or -1 when none has completed. Ties break to the lowest index
+// (the primary before its hedges).
+func (d *dagRun) winnerIndex(f *flight) int {
+	winIdx := -1
+	for i, job := range f.jobs {
+		if job.Status() != condor.StatusCompleted {
+			continue
+		}
+		if winIdx < 0 || job.FinishedAt < f.jobs[winIdx].FinishedAt {
+			winIdx = i
+		}
+	}
+	return winIdx
+}
+
+// observeWin resolves a task whose copy winIdx completed: the flight is
+// retired, still-running losers are abandoned (they finish on their own and
+// their results are discarded), hedge accounting is settled, and the task's
+// provenance is recorded. The attempt span closes now — in poll mode that is
+// the poll tick after completion (its tail is the DAGMan-poll slack), in the
+// event-driven modes it is the moment of observation.
+func (d *dagRun) observeWin(id string, f *flight, winIdx int) {
+	win := f.jobs[winIdx]
+	delete(d.inflight, id)
+	d.done[id] = true
+	d.e.Budget.OnSuccess()
+	for i, hs := range f.spans {
+		if hs == nil {
+			continue
+		}
+		if i == winIdx {
+			hs.SetLabel("status", "won")
+		} else {
+			hs.SetLabel("status", "abandoned")
+		}
+		hs.End()
+	}
+	if f.hedged[winIdx] {
+		d.res.HedgeWins++
+		f.attempt.SetLabel("hedge-win", "1")
+	}
+	f.attempt.SetLabel("node", win.Node())
+	f.attempt.End()
+	d.res.Tasks[id] = &TaskResult{
+		ID:          id,
+		Mode:        d.modes[id],
+		Node:        win.Node(),
+		Attempts:    d.attempts[id],
+		SubmittedAt: win.SubmittedAt,
+		StartedAt:   win.StartedAt,
+		FinishedAt:  win.FinishedAt,
+	}
+}
+
+// pruneFailed drops the flight's failed copies, ending their hedge spans.
+// It reports whether the whole attempt is dead (no copies remain).
+func (d *dagRun) pruneFailed(f *flight) (attemptDead bool) {
+	keptJobs, keptSpans, keptHedged := f.jobs[:0], f.spans[:0], f.hedged[:0]
+	for i, job := range f.jobs {
+		if job.Status() == condor.StatusFailed {
+			if f.spans[i] != nil {
+				f.spans[i].SetLabel("status", "failed")
+				f.spans[i].End()
+			}
+			continue
+		}
+		keptJobs = append(keptJobs, job)
+		keptSpans = append(keptSpans, f.spans[i])
+		keptHedged = append(keptHedged, f.hedged[i])
+	}
+	f.jobs, f.spans, f.hedged = keptJobs, keptSpans, keptHedged
+	return len(f.jobs) == 0
+}
+
+// failAttempt handles a task attempt with no live copies left: the flight
+// must already be removed from the in-flight set and its attempt span ended.
+// It either authorizes a resubmission after the returned backoff, or returns
+// the AbortError (retries exhausted, or the engine-wide retry budget denied
+// the resubmission) that ends the run.
+func (d *dagRun) failAttempt(p *sim.Proc, id string) (time.Duration, *AbortError) {
+	if d.attempts[id] >= d.e.Retry.Attempts() {
+		d.wfSpan.SetLabel("status", "aborted")
+		// Per-task retries exhausted: abort with a rescue capturing
+		// completed-task state. Jobs still in flight are abandoned (their
+		// results discarded); the rescue DAG re-runs those tasks.
+		return 0, &AbortError{
+			Task:     id,
+			Attempts: d.attempts[id],
+			Reason:   AbortRetries,
+			Rescue:   d.e.buildRescue(d.wf, d.res, id, d.abandonedJobs()),
+		}
+	}
+	if !d.e.Budget.TryRetry() {
+		// The engine-wide retry budget denied the resubmission: failures
+		// are outpacing successes, so degrade gracefully — abort with a
+		// rescue instead of joining the storm.
+		d.wfSpan.SetLabel("status", "aborted")
+		return 0, &AbortError{
+			Task:     id,
+			Attempts: d.attempts[id],
+			Reason:   AbortRetryBudget,
+			Rescue:   d.e.buildRescue(d.wf, d.res, id, d.abandonedJobs()),
+		}
+	}
+	// Exponential backoff before resubmission, jittered so concurrent
+	// workflows don't resubmit in lockstep.
+	return d.e.Retry.Backoff(d.attempts[id], p.Rand()), nil
+}
+
+// deadlineAbort builds the AbortError for a run that outlived its deadline.
+func (d *dagRun) deadlineAbort() *AbortError {
+	d.wfSpan.SetLabel("status", "aborted")
+	return &AbortError{
+		Reason: AbortDeadline,
+		Rescue: d.e.buildRescue(d.wf, d.res, "", d.abandonedJobs()),
+	}
+}
+
+// submitOne starts a new attempt of one task: it opens the attempt span,
+// plans and submits the condor job, and registers the flight.
+func (d *dagRun) submitOne(id string) (*flight, error) {
+	task, _ := d.wf.Task(id)
+	sp := d.tracer.Start(d.wfSpan, "wms", "task",
+		trace.L("workflow", d.wf.Name), trace.L("task", id),
+		trace.L("mode", d.modes[id].String()),
+		trace.L("attempt", strconv.Itoa(d.attempts[id]+1)))
+	popCur := d.tracer.Push(sp) // condor job span nests under the attempt
+	job, err := d.e.submitTask(d.wf, task, d.modes[id], d.absDeadline)
+	popCur()
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	d.attempts[id]++
+	f := &flight{attempt: sp, jobs: []*condor.Job{job}, spans: []*trace.Span{nil}, hedged: []bool{false}}
+	d.inflight[id] = f
+	return f, nil
+}
+
+// hedgeCap returns the maximum number of speculative copies per attempt.
+func (d *dagRun) hedgeCap() int {
+	hedgeMax := d.e.HedgeMax
+	if hedgeMax <= 0 {
+		hedgeMax = 1
+	}
+	return hedgeMax
+}
+
+// submitHedgeCopy launches one speculative duplicate of an in-flight task.
+// The copies race; whoever observes completions keeps whichever finishes
+// first.
+func (d *dagRun) submitHedgeCopy(id string, f *flight) (*condor.Job, error) {
+	task, _ := d.wf.Task(id)
+	hs := d.tracer.Start(f.attempt, "wms", "hedge",
+		trace.L("workflow", d.wf.Name), trace.L("task", id),
+		trace.L("copy", strconv.Itoa(len(f.jobs))))
+	popCur := d.tracer.Push(hs)
+	job, err := d.e.submitTask(d.wf, task, d.modes[id], d.absDeadline)
+	popCur()
+	if err != nil {
+		hs.End()
+		return nil, err
+	}
+	d.res.Hedges++
+	f.jobs = append(f.jobs, job)
+	f.spans = append(f.spans, hs)
+	f.hedged = append(f.hedged, true)
+	return job, nil
+}

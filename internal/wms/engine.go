@@ -2,8 +2,6 @@ package wms
 
 import (
 	"fmt"
-	"sort"
-	"strconv"
 	"time"
 
 	"repro/internal/cluster"
@@ -145,6 +143,9 @@ type Engine struct {
 	// the engine aborts with a rescue; serverless submissions carry the
 	// absolute deadline so the serving layer drops work past it too.
 	Deadline time.Duration
+	// Broker carries task-settled events under the "trigger" execution mode
+	// (config.ExecTrigger); required for that mode, unused otherwise.
+	Broker *knative.Broker
 
 	progress map[string]*taskProgress
 }
@@ -170,9 +171,19 @@ func (e *Engine) RunWorkflow(p *sim.Proc, wf *Workflow, assign ModeAssigner) (*R
 	return e.run(p, wf, assign, nil)
 }
 
-// run is the DAGMan loop behind RunWorkflow and ResumeWorkflow; a non-nil
+// run is the shared front half of RunWorkflow and ResumeWorkflow: it
+// validates the DAG, stages external inputs, assigns modes, reinstates any
+// rescue state, and then hands the prepared dagRun to the execution-mode
+// driver selected by Prm.ExecMode (exec_poll.go, exec_event.go). A non-nil
 // rescue pre-marks finished tasks and reinstates checkpoint progress.
 func (e *Engine) run(p *sim.Proc, wf *Workflow, assign ModeAssigner, rescue *Rescue) (*RunResult, error) {
+	execMode, err := config.ParseExecMode(e.Prm.ExecMode)
+	if err != nil {
+		return nil, err
+	}
+	if execMode == config.ExecTrigger && e.Broker == nil {
+		return nil, fmt.Errorf("wms: execution mode %q needs Engine.Broker", execMode)
+	}
 	if err := wf.Validate(); err != nil {
 		return nil, err
 	}
@@ -204,14 +215,12 @@ func (e *Engine) run(p *sim.Proc, wf *Workflow, assign ModeAssigner, rescue *Res
 		StartedAt: p.Now(),
 		Tasks:     make(map[string]*TaskResult, wf.Len()),
 	}
-	done := make(map[string]bool, wf.Len())
-	attempts := make(map[string]int, wf.Len())
-	inflight := make(map[string]*flight)
-	notBefore := make(map[string]time.Duration) // retry backoff gate
 
 	tracer := trace.FromEnv(e.Env)
 	wfSpan := tracer.StartCurrent("wms", "workflow", trace.L("workflow", wf.Name))
 	defer wfSpan.End() // End is idempotent; covers error returns too
+
+	d := newDagRun(e, wf, modes, res, tracer, wfSpan)
 
 	if rescue != nil {
 		// Rescue-DAG resume: finished tasks are planned out of the DAG and
@@ -222,7 +231,7 @@ func (e *Engine) run(p *sim.Proc, wf *Workflow, assign ModeAssigner, rescue *Res
 			if _, exists := wf.Task(id); !exists {
 				return nil, fmt.Errorf("wms: rescue records unknown task %q", id)
 			}
-			done[id] = true
+			d.done[id] = true
 			res.Tasks[id] = tr
 		}
 		e.restoreProgress(wf, rescue)
@@ -230,233 +239,21 @@ func (e *Engine) run(p *sim.Proc, wf *Workflow, assign ModeAssigner, rescue *Res
 
 	// The workflow deadline is absolute from the (possibly rescued) start,
 	// and propagates into every serverless submission.
-	var absDeadline time.Duration
 	if e.Deadline > 0 {
-		absDeadline = res.StartedAt + e.Deadline
-	}
-	abandonedJobs := func() int {
-		n := 0
-		for _, f := range inflight {
-			n += len(f.jobs)
-		}
-		return n
+		d.absDeadline = res.StartedAt + e.Deadline
 	}
 
-	ready := func(id string) bool {
-		if done[id] || inflight[id] != nil || p.Now() < notBefore[id] {
-			return false
-		}
-		for _, par := range wf.Parents(id) {
-			if !done[par] {
-				return false
-			}
-		}
-		return true
+	switch execMode {
+	case config.ExecDecentralized:
+		err = e.runEvent(p, d, nil)
+	case config.ExecTrigger:
+		err = e.runEvent(p, d, e.Broker)
+	default:
+		err = e.runPoll(p, d)
 	}
-
-	submitReady := func() error {
-		for _, id := range wf.TaskIDs() {
-			if e.MaxInflight > 0 && len(inflight) >= e.MaxInflight {
-				return nil // DAGMan -maxjobs throttle
-			}
-			if !ready(id) {
-				continue
-			}
-			task, _ := wf.Task(id)
-			sp := tracer.Start(wfSpan, "wms", "task",
-				trace.L("workflow", wf.Name), trace.L("task", id),
-				trace.L("mode", modes[id].String()),
-				trace.L("attempt", strconv.Itoa(attempts[id]+1)))
-			popCur := tracer.Push(sp) // condor job span nests under the attempt
-			job, err := e.submitTask(wf, task, modes[id], absDeadline)
-			popCur()
-			if err != nil {
-				sp.End()
-				return err
-			}
-			attempts[id]++
-			inflight[id] = &flight{attempt: sp, jobs: []*condor.Job{job}, spans: []*trace.Span{nil}, hedged: []bool{false}}
-		}
-		return nil
-	}
-
-	// submitHedges launches speculative copies of straggling tasks: any
-	// in-flight task whose newest copy has sat longer than HedgeAfter gets
-	// a duplicate submission, up to HedgeMax copies per attempt. The copies
-	// race; the poll loop keeps whichever finishes first.
-	submitHedges := func() error {
-		if e.HedgeAfter <= 0 {
-			return nil
-		}
-		hedgeMax := e.HedgeMax
-		if hedgeMax <= 0 {
-			hedgeMax = 1
-		}
-		ids := make([]string, 0, len(inflight))
-		for id := range inflight {
-			ids = append(ids, id)
-		}
-		sort.Strings(ids)
-		for _, id := range ids {
-			f := inflight[id]
-			if len(f.jobs) >= 1+hedgeMax {
-				continue
-			}
-			newest := f.jobs[len(f.jobs)-1]
-			if p.Now()-newest.SubmittedAt < e.HedgeAfter {
-				continue
-			}
-			task, _ := wf.Task(id)
-			hs := tracer.Start(f.attempt, "wms", "hedge",
-				trace.L("workflow", wf.Name), trace.L("task", id),
-				trace.L("copy", strconv.Itoa(len(f.jobs))))
-			popCur := tracer.Push(hs)
-			job, err := e.submitTask(wf, task, modes[id], absDeadline)
-			popCur()
-			if err != nil {
-				hs.End()
-				return err
-			}
-			res.Hedges++
-			f.jobs = append(f.jobs, job)
-			f.spans = append(f.spans, hs)
-			f.hedged = append(f.hedged, true)
-		}
-		return nil
-	}
-
-	// DAGMan instances start with independent poll phases (they are separate
-	// condor_dagman processes in reality); without this, concurrent
-	// workflows lock step to the negotiation cycle and per-task overheads
-	// vanish into the quantization.
-	p.Sleep(time.Duration(p.Rand().Float64() * float64(e.Prm.DAGManPoll)))
-
-	if err := submitReady(); err != nil {
+	if err != nil {
 		return nil, err
 	}
-	for len(done) < wf.Len() {
-		p.Sleep(e.Prm.DAGManPoll)
-		// Workflow deadline: stop resubmitting and abort with a rescue; the
-		// serving layer is already dropping the in-flight work past it.
-		if absDeadline > 0 && p.Now() >= absDeadline {
-			wfSpan.SetLabel("status", "aborted")
-			return nil, &AbortError{
-				Reason: AbortDeadline,
-				Rescue: e.buildRescue(wf, res, "", abandonedJobs()),
-			}
-		}
-		ids := make([]string, 0, len(inflight))
-		for id := range inflight {
-			ids = append(ids, id)
-		}
-		sort.Strings(ids)
-		for _, id := range ids {
-			f := inflight[id]
-			// Winner: the earliest-finishing completed copy (primary or
-			// hedge). Still-running losers are abandoned — they finish on
-			// their own and their results are discarded.
-			winIdx := -1
-			for i, job := range f.jobs {
-				if job.Status() != condor.StatusCompleted {
-					continue
-				}
-				if winIdx < 0 || job.FinishedAt < f.jobs[winIdx].FinishedAt {
-					winIdx = i
-				}
-			}
-			if winIdx >= 0 {
-				win := f.jobs[winIdx]
-				delete(inflight, id)
-				done[id] = true
-				e.Budget.OnSuccess()
-				for i, hs := range f.spans {
-					if hs == nil {
-						continue
-					}
-					if i == winIdx {
-						hs.SetLabel("status", "won")
-					} else {
-						hs.SetLabel("status", "abandoned")
-					}
-					hs.End()
-				}
-				if f.hedged[winIdx] {
-					res.HedgeWins++
-					f.attempt.SetLabel("hedge-win", "1")
-				}
-				// The attempt span closes when the engine observes completion
-				// (this poll tick), so its tail is the DAGMan-poll slack.
-				f.attempt.SetLabel("node", win.Node())
-				f.attempt.End()
-				res.Tasks[id] = &TaskResult{
-					ID:          id,
-					Mode:        modes[id],
-					Node:        win.Node(),
-					Attempts:    attempts[id],
-					SubmittedAt: win.SubmittedAt,
-					StartedAt:   win.StartedAt,
-					FinishedAt:  win.FinishedAt,
-				}
-				continue
-			}
-			// Drop failed copies; the attempt fails only when none remain.
-			keptJobs, keptSpans, keptHedged := f.jobs[:0], f.spans[:0], f.hedged[:0]
-			for i, job := range f.jobs {
-				if job.Status() == condor.StatusFailed {
-					if f.spans[i] != nil {
-						f.spans[i].SetLabel("status", "failed")
-						f.spans[i].End()
-					}
-					continue
-				}
-				keptJobs = append(keptJobs, job)
-				keptSpans = append(keptSpans, f.spans[i])
-				keptHedged = append(keptHedged, f.hedged[i])
-			}
-			f.jobs, f.spans, f.hedged = keptJobs, keptSpans, keptHedged
-			if len(f.jobs) > 0 {
-				continue
-			}
-			delete(inflight, id)
-			f.attempt.SetLabel("status", "failed")
-			f.attempt.End()
-			if attempts[id] >= e.Retry.Attempts() {
-				wfSpan.SetLabel("status", "aborted")
-				// Per-task retries exhausted: abort with a rescue capturing
-				// completed-task state. Jobs still in flight are
-				// abandoned (their results discarded); the rescue DAG
-				// re-runs those tasks.
-				return nil, &AbortError{
-					Task:     id,
-					Attempts: attempts[id],
-					Reason:   AbortRetries,
-					Rescue:   e.buildRescue(wf, res, id, abandonedJobs()),
-				}
-			}
-			if !e.Budget.TryRetry() {
-				// The engine-wide retry budget denied the resubmission:
-				// failures are outpacing successes, so degrade gracefully —
-				// abort with a rescue instead of joining the storm.
-				wfSpan.SetLabel("status", "aborted")
-				return nil, &AbortError{
-					Task:     id,
-					Attempts: attempts[id],
-					Reason:   AbortRetryBudget,
-					Rescue:   e.buildRescue(wf, res, id, abandonedJobs()),
-				}
-			}
-			// Exponential backoff before resubmission, jittered so
-			// concurrent workflows don't resubmit in lockstep.
-			notBefore[id] = p.Now() + e.Retry.Backoff(attempts[id], p.Rand())
-		}
-		if err := submitHedges(); err != nil {
-			return nil, err
-		}
-		if err := submitReady(); err != nil {
-			return nil, err
-		}
-	}
-	res.FinishedAt = p.Now()
 	return res, nil
 }
 

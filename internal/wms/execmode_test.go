@@ -1,0 +1,340 @@
+package wms
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+// newModeStack builds the standard test stack pinned to one execution mode,
+// with task-duration jitter zeroed so cross-mode runs of the same DAG are
+// comparable. Trigger mode gets its completion broker, as core.NewStack
+// wires it.
+func newModeStack(t *testing.T, mode string, mut func(*config.Params)) *stack {
+	t.Helper()
+	s := newStack(t, func(p *config.Params) {
+		p.ExecMode = mode
+		p.TaskJitterFrac = 0
+		if mut != nil {
+			mut(p)
+		}
+	})
+	if mode == "trigger" {
+		s.eng.Broker = s.kn.NewBroker("wms-completions")
+	}
+	return s
+}
+
+// fanDAG builds the wide fan-out/fan-in shape: in → width chains of depth →
+// out (structural dependencies only; release latency is what these tests
+// measure, not data staging).
+func fanDAG(t *testing.T, width, depth int) *Workflow {
+	t.Helper()
+	wf := NewWorkflow("fan")
+	add := func(spec TaskSpec) {
+		t.Helper()
+		if err := wf.AddTask(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(TaskSpec{ID: "in", Transformation: "matmul"})
+	for j := 0; j < width; j++ {
+		for i := 0; i < depth; i++ {
+			id := fmt.Sprintf("b%d.s%d", j, i)
+			add(TaskSpec{ID: id, Transformation: "matmul"})
+			parent := "in"
+			if i > 0 {
+				parent = fmt.Sprintf("b%d.s%d", j, i-1)
+			}
+			if err := wf.AddDependency(parent, id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	add(TaskSpec{ID: "out", Transformation: "matmul"})
+	for j := 0; j < width; j++ {
+		if err := wf.AddDependency(fmt.Sprintf("b%d.s%d", j, depth-1), "out"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return wf
+}
+
+// TestExecModesAgreeOnCompletions is the differential test across release
+// paths: the same DAG under poll, decentralized, and trigger modes must
+// complete the identical task set with identical attempt counts, respecting
+// dependencies, and the event-driven modes must never be slower than the
+// poll loop (per the seed's timing model, they skip the initial poll-phase
+// jitter and the per-step observation lag).
+func TestExecModesAgreeOnCompletions(t *testing.T) {
+	type outcome struct {
+		mode     string
+		res      *RunResult
+		makespan time.Duration
+	}
+	var outcomes []outcome
+	for _, mode := range config.ExecModeNames() {
+		s := newModeStack(t, mode, nil)
+		wf := fanDAG(t, 4, 3)
+		var res *RunResult
+		s.env.Go("main", func(p *sim.Proc) {
+			defer s.shutdown()
+			r, err := s.eng.RunWorkflow(p, wf, AssignAll(ModeNative))
+			if err != nil {
+				t.Errorf("mode %s: %v", mode, err)
+				return
+			}
+			res = r
+		})
+		s.env.Run()
+		if res == nil {
+			t.Fatalf("mode %s: no result", mode)
+		}
+		if len(res.Tasks) != wf.Len() {
+			t.Fatalf("mode %s: %d tasks recorded, want %d", mode, len(res.Tasks), wf.Len())
+		}
+		for id, tr := range res.Tasks {
+			if tr.Attempts != 1 {
+				t.Errorf("mode %s: task %s took %d attempts", mode, id, tr.Attempts)
+			}
+			for _, par := range wf.Parents(id) {
+				if tr.StartedAt < res.Tasks[par].FinishedAt {
+					t.Errorf("mode %s: task %s started before parent %s finished", mode, id, par)
+				}
+			}
+		}
+		outcomes = append(outcomes, outcome{mode: mode, res: res, makespan: res.Makespan()})
+	}
+
+	// Identical completion sets across all three modes.
+	ids := func(res *RunResult) []string {
+		var out []string
+		for id := range res.Tasks {
+			out = append(out, id)
+		}
+		sort.Strings(out)
+		return out
+	}
+	base := ids(outcomes[0].res)
+	for _, oc := range outcomes[1:] {
+		got := ids(oc.res)
+		if len(got) != len(base) {
+			t.Fatalf("completion sets differ: %s has %d tasks, %s has %d",
+				outcomes[0].mode, len(base), oc.mode, len(got))
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("completion sets differ at %s vs %s", base[i], got[i])
+			}
+		}
+	}
+
+	// Makespan ordering: the event-driven modes release successors at
+	// completion time, so they can only be as fast or faster than the
+	// poll loop's tick-quantized releases.
+	poll := outcomes[0]
+	if poll.mode != "poll" {
+		t.Fatalf("expected poll first, got %s", poll.mode)
+	}
+	for _, oc := range outcomes[1:] {
+		if oc.makespan > poll.makespan {
+			t.Errorf("mode %s makespan %v exceeds poll %v", oc.mode, oc.makespan, poll.makespan)
+		}
+	}
+}
+
+// TestEventModeMaxInflightThrottle pins the DAGMan -maxjobs contract on the
+// event-driven release path: at most MaxInflight task attempts overlap, and
+// the backlog still drains to completion.
+func TestEventModeMaxInflightThrottle(t *testing.T) {
+	for _, mode := range []string{"decentralized", "trigger"} {
+		t.Run(mode, func(t *testing.T) {
+			s := newModeStack(t, mode, nil)
+			s.eng.MaxInflight = 2
+			wf := fanDAG(t, 6, 1)
+			var res *RunResult
+			s.env.Go("main", func(p *sim.Proc) {
+				defer s.shutdown()
+				r, err := s.eng.RunWorkflow(p, wf, AssignAll(ModeNative))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				res = r
+			})
+			s.env.Run()
+			if res == nil {
+				t.Fatal("no result")
+			}
+			if len(res.Tasks) != wf.Len() {
+				t.Fatalf("%d tasks recorded, want %d", len(res.Tasks), wf.Len())
+			}
+			// No instant may have more than MaxInflight submitted-but-
+			// unfinished tasks.
+			type edge struct {
+				at    time.Duration
+				delta int
+			}
+			var edges []edge
+			for _, tr := range res.Tasks {
+				edges = append(edges, edge{tr.SubmittedAt, 1}, edge{tr.FinishedAt, -1})
+			}
+			sort.Slice(edges, func(i, j int) bool {
+				if edges[i].at != edges[j].at {
+					return edges[i].at < edges[j].at
+				}
+				return edges[i].delta < edges[j].delta // finish before submit at ties
+			})
+			cur, peak := 0, 0
+			for _, e := range edges {
+				cur += e.delta
+				if cur > peak {
+					peak = cur
+				}
+			}
+			if peak > 2 {
+				t.Errorf("peak in-flight = %d, want <= MaxInflight=2", peak)
+			}
+		})
+	}
+}
+
+// TestEventModeRetriesAndRescue drives the full failure story through the
+// event-driven release path: a targeted fault exhausts task b's retries, the
+// run aborts with a rescue recording finished work, and resuming after the
+// incident completes the DAG without re-running task a.
+func TestEventModeRetriesAndRescue(t *testing.T) {
+	for _, mode := range []string{"decentralized", "trigger"} {
+		t.Run(mode, func(t *testing.T) {
+			s := newModeStack(t, mode, nil)
+			in := attachFaults(s)
+			s.eng.Retry = config.RetryPolicy{MaxAttempts: 2}
+			in.Schedule(faults.Fault{Kind: faults.KindJobFailure, At: 0, Duration: 40 * time.Second, Rate: 1, Target: "worker2"})
+			wf := pinnedChain(t)
+			s.env.Go("main", func(p *sim.Proc) {
+				defer s.shutdown()
+				_, err := s.eng.RunWorkflow(p, wf, AssignAll(ModeNative))
+				var abort *AbortError
+				if !errors.As(err, &abort) {
+					t.Errorf("err = %v, want AbortError", err)
+					return
+				}
+				if abort.Task != "b" {
+					t.Errorf("aborted task = %s, want b", abort.Task)
+				}
+				if _, ok := abort.Rescue.Done["a"]; !ok {
+					t.Error("finished task a missing from rescue")
+				}
+				if now := p.Now(); now < 45*time.Second {
+					p.Sleep(45*time.Second - now)
+				}
+				res, err := s.eng.ResumeWorkflow(p, wf, AssignAll(ModeNative), abort.Rescue)
+				if err != nil {
+					t.Errorf("resume failed: %v", err)
+					return
+				}
+				if len(res.Tasks) != 3 {
+					t.Errorf("resumed result has %d tasks, want 3", len(res.Tasks))
+				}
+				if res.Tasks["a"].FinishedAt > 40*time.Second {
+					t.Error("finished task a was re-run by the rescue DAG")
+				}
+				if res.StartedAt != abort.Rescue.StartedAt {
+					t.Errorf("resumed StartedAt = %v, want original %v", res.StartedAt, abort.Rescue.StartedAt)
+				}
+			})
+			s.env.Run()
+		})
+	}
+}
+
+// TestEventModeHedges: the straggler timer must fire on the event-driven
+// path too — a long task gets a speculative copy after HedgeAfter, and since
+// neither copy fails the primary (submitted earlier) wins.
+func TestEventModeHedges(t *testing.T) {
+	s := newModeStack(t, "decentralized", nil)
+	s.eng.HedgeAfter = 6 * time.Second
+	wf := NewWorkflow("strag")
+	if err := wf.AddTask(TaskSpec{ID: "t0", Transformation: "matmul", WorkScale: 40}); err != nil {
+		t.Fatal(err)
+	}
+	s.env.Go("main", func(p *sim.Proc) {
+		defer s.shutdown()
+		res, err := s.eng.RunWorkflow(p, wf, AssignAll(ModeNative))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if res.Hedges < 1 {
+			t.Errorf("Hedges = %d, want >= 1", res.Hedges)
+		}
+		if got := res.Tasks["t0"].Attempts; got != 1 {
+			t.Errorf("Attempts = %d, want 1 (hedges are not retries)", got)
+		}
+	})
+	s.env.Run()
+}
+
+// TestEventModeDeadlineAborts: the deadline watchdog replaces the poll
+// loop's per-tick deadline check.
+func TestEventModeDeadlineAborts(t *testing.T) {
+	for _, mode := range []string{"decentralized", "trigger"} {
+		t.Run(mode, func(t *testing.T) {
+			s := newModeStack(t, mode, nil)
+			s.eng.Deadline = 3 * time.Second
+			wf := fanDAG(t, 2, 4)
+			s.env.Go("main", func(p *sim.Proc) {
+				defer s.shutdown()
+				_, err := s.eng.RunWorkflow(p, wf, AssignAll(ModeNative))
+				var abort *AbortError
+				if !errors.As(err, &abort) {
+					t.Errorf("err = %v, want AbortError", err)
+					return
+				}
+				if abort.Reason != AbortDeadline {
+					t.Errorf("reason = %v, want deadline", abort.Reason)
+				}
+				if abort.Rescue == nil {
+					t.Error("deadline abort carries no rescue")
+				}
+			})
+			s.env.Run()
+		})
+	}
+}
+
+// TestTriggerModeRequiresBroker: misconfiguration fails the run up front.
+func TestTriggerModeRequiresBroker(t *testing.T) {
+	s := newStack(t, func(p *config.Params) { p.ExecMode = "trigger" })
+	wf := chain(t, 1)
+	s.env.Go("main", func(p *sim.Proc) {
+		defer s.shutdown()
+		_, err := s.eng.RunWorkflow(p, wf, AssignAll(ModeNative))
+		if err == nil || !strings.Contains(err.Error(), "Broker") {
+			t.Errorf("err = %v, want broker requirement", err)
+		}
+	})
+	s.env.Run()
+}
+
+// TestUnknownExecModeFailsRun: a typoed mode must abort the run naming the
+// valid values, never silently fall back to the poll loop.
+func TestUnknownExecModeFailsRun(t *testing.T) {
+	s := newStack(t, func(p *config.Params) { p.ExecMode = "centralised" })
+	wf := chain(t, 1)
+	s.env.Go("main", func(p *sim.Proc) {
+		defer s.shutdown()
+		_, err := s.eng.RunWorkflow(p, wf, AssignAll(ModeNative))
+		if err == nil || !strings.Contains(err.Error(), "valid: poll, decentralized, trigger") {
+			t.Errorf("err = %v, want unknown-mode error listing valid modes", err)
+		}
+	})
+	s.env.Run()
+}
