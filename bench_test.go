@@ -14,9 +14,12 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/crt"
 	"repro/internal/experiments"
 	"repro/internal/fluid"
 	"repro/internal/knative"
+	"repro/internal/kube"
+	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/wms"
 	"repro/internal/workload"
@@ -277,6 +280,86 @@ func burstLatency(seed uint64, cc int) float64 {
 	})
 	s.Env.Run()
 	return total.Seconds()
+}
+
+// ---- Placement benchmarks ----
+
+// BenchmarkKubePlacement measures the scheduler's placement hot path at
+// cluster scale: waves of one-core pods pack an N-node cluster to CPU
+// capacity and churn, with a free control plane and zero scheduler latency
+// so wall time is dominated by pickNode (filter + score over candidates)
+// and the pod-lifecycle events. The sampled sub-bench scores 10% of nodes
+// (floor 100) — the scale sweep's configuration — against the exhaustive
+// default; compare the ns/placement lines.
+func BenchmarkKubePlacement(b *testing.B) {
+	for _, cfg := range []struct {
+		name    string
+		nodes   int
+		percent int
+	}{
+		{"nodes=1000", 1000, 0},
+		{"nodes=5000", 5000, 0},
+		{"nodes=5000/sampled", 5000, 10},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) { benchKubePlacement(b, cfg.nodes, cfg.percent) })
+	}
+}
+
+func benchKubePlacement(b *testing.B, nodes, samplePercent int) {
+	prm := config.Default()
+	prm.WorkerNodes = nodes
+	prm.SchedulerLatency = 0
+	prm.SchedSamplePercent = samplePercent
+	env := sim.NewEnv(1)
+	cl := cluster.New(env, prm)
+	reg := registry.New(cl.Net)
+	reg.Push(registry.NewImage("fn", []int64{1}, 1))
+	k := kube.New(env, cl, crt.NewSet(env, cl, reg, prm), prm)
+	k.Start()
+	env.Go("prepull", func(p *sim.Proc) {
+		for _, w := range k.Workers() {
+			if err := k.Runtime(w).PullImage(p, "fn"); err != nil {
+				panic(err)
+			}
+		}
+	})
+	env.Run()
+
+	waveCap := nodes * prm.CoresPerNode
+	name := 0
+	b.ResetTimer()
+	for placed := 0; placed < b.N; {
+		n := waveCap
+		if rest := b.N - placed; rest < n {
+			n = rest
+		}
+		env.Go("driver", func(p *sim.Proc) {
+			pods := make([]*kube.Pod, 0, n)
+			for i := 0; i < n; i++ {
+				pod, err := k.CreatePod(kube.PodSpec{
+					Name: fmt.Sprintf("fn-%d", name+i), Image: "fn", CPURequest: 1, MemMB: 64,
+				})
+				if err != nil {
+					panic(err)
+				}
+				pods = append(pods, pod)
+			}
+			for _, pod := range pods {
+				if err := k.WaitReady(p, pod); err != nil {
+					panic(err)
+				}
+			}
+			for _, pod := range pods {
+				k.DeletePod(pod.Spec.Name)
+			}
+		})
+		env.Run()
+		name += n
+		placed += n
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/placement")
 }
 
 // ---- Replication-runner benchmarks ----

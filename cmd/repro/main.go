@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	repro [flags] {fig1|fig2|fig5|fig6|coldstart|config|chaos|overload|traffic|execmode|all}
+//	repro [flags] {fig1|fig2|fig5|fig6|coldstart|config|chaos|overload|traffic|execmode|scale|all}
 //
 // Flags:
 //
@@ -13,6 +13,9 @@
 //	-workers N replication-runner pool size (0 = GOMAXPROCS, 1 = sequential)
 //	-mode M    workflow execution mode: poll (default), decentralized, or
 //	           trigger; unknown values fail fast listing the valid modes
+//	-cpmode M  control-plane mode: baseline (default) or direct; unknown
+//	           values fail fast listing the valid modes (the scale
+//	           experiment always sweeps both)
 //
 // Results are identical at any -workers value: repetitions are isolated
 // simulations fanned across the pool and merged back in repetition order.
@@ -36,8 +39,9 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel replication workers (0 = GOMAXPROCS, 1 = sequential)")
 	traceOut := flag.String("trace-out", "", "with the trace experiment: write Chrome trace_event JSON to <prefix>-<mode>.json")
 	execMode := flag.String("mode", "", "workflow execution mode: poll (default), decentralized, or trigger")
+	cpMode := flag.String("cpmode", "", "control-plane mode: baseline (default) or direct")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: repro [flags] {fig1|fig2|fig5|fig6|coldstart|config|all|datamove|resize|redirect|clustering|montage|isolation|placement|chaos|overload|traffic|trace|execmode|ext}\n")
+		fmt.Fprintf(os.Stderr, "usage: repro [flags] {fig1|fig2|fig5|fig6|coldstart|config|all|datamove|resize|redirect|clustering|montage|isolation|placement|chaos|overload|traffic|trace|execmode|scale|ext}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -45,9 +49,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	// Validate the mode up front: a typo must fail the run here, naming the
-	// valid modes, never fall back to the poll loop silently.
+	// Validate the modes up front: a typo must fail the run here, naming the
+	// valid values, never fall back to the default path silently.
 	if _, err := config.ParseExecMode(*execMode); err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		os.Exit(2)
+	}
+	if _, err := config.ParseCPMode(*cpMode); err != nil {
 		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
 		os.Exit(2)
 	}
@@ -56,6 +64,7 @@ func main() {
 	o.Seed = *seed
 	o.Quick = *quick
 	o.Prm.ExecMode = *execMode
+	o.Prm.CPMode = *cpMode
 	if *quick {
 		o.Reps = 2
 	}
@@ -101,6 +110,8 @@ func main() {
 			return writeResult(w, experiments.Traffic(o))
 		case "execmode":
 			return writeResult(w, experiments.ExecModeStudy(o))
+		case "scale":
+			return writeResult(w, experiments.ScaleStudy(o))
 		case "trace":
 			res := experiments.Trace(o)
 			if *traceOut != "" {

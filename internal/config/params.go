@@ -150,6 +150,41 @@ type Params struct {
 	// KubeletSyncPeriod paces the kubelet reconcile loop.
 	KubeletSyncPeriod time.Duration
 
+	// ---- Control plane cost model (internal/cplane; every knob defaults
+	// to 0 = the seed's free control plane, so existing goldens are pinned
+	// byte-identical) ----
+
+	// CPMode selects the control-plane communication path: "baseline"
+	// (default when empty; every message is a store-mediated apiserver
+	// request) or "direct" (Kubedirect-style direct message passing between
+	// scheduler/kubelet/autoscaler for placement-critical messages, with
+	// asynchronous store reconciliation). Parse with ParseCPMode; unknown
+	// values fail the run, never fall back to the free control plane.
+	CPMode string
+	// APIServerQPS caps the apiserver's request throughput: each request
+	// occupies the serialized server for 1/QPS seconds, and requests
+	// arriving faster than that queue FIFO. 0 = unlimited (seed).
+	APIServerQPS float64
+	// APIServerLatency is the per-request apiserver processing latency
+	// (authn/authz, admission, (de)serialization), paid once the request
+	// reaches the head of the queue. 0 = free (seed).
+	APIServerLatency time.Duration
+	// EtcdCommitLatency is the per-write etcd-style commit latency (raft
+	// round + fsync), paid by every store write: pod bindings, deletions,
+	// status updates, scale writes. 0 = free (seed).
+	EtcdCommitLatency time.Duration
+	// WatchLatency is the watch/informer propagation delay between a write
+	// committing and the component watching that object observing it (the
+	// kubelet seeing a binding, the activator seeing readiness, the
+	// scheduler seeing a scale-up). 0 = instantaneous (seed).
+	WatchLatency time.Duration
+	// SchedSamplePercent is the kube scheduler's percentage-of-nodes-to-
+	// score: stop filtering once this percentage of the cluster (never
+	// fewer than sched.MinFeasibleToScore) has passed the feasibility
+	// filters, rotating the scan's start node between decisions so no node
+	// range is permanently favoured. 0 = score every node (seed).
+	SchedSamplePercent int
+
 	// ---- HTCondor (absolute makespans in Fig. 6 are dominated by condor's
 	// per-job scheduling latency: DAGMan submits each ready job, then the
 	// job waits for the next negotiation cycle) ----

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/crt"
+	"repro/internal/kube"
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+	"repro/internal/registry"
+	"repro/internal/sim"
+)
+
+// The scale study reproduces the shape of Kubedirect's scale-pods /
+// scale-nodes microbenchmarks on the modelled control plane: waves of pod
+// placements pack clusters of increasing size to capacity, under the
+// store-mediated baseline and the direct fast path, with identical cost
+// constants. Reported per cell: placement latency percentiles (pod
+// creation → ready, including scheduling, control-plane propagation, and
+// container bring-up) and sustained bindings/s over the placement windows.
+// The sweep totals >1M placements at full size. Every cell is a
+// deterministic single simulation (no randomness anywhere on the path), so
+// the study needs no seeded repetitions and is worker-count invariant.
+
+// scaleNodeCounts returns the cluster sizes swept.
+func scaleNodeCounts(quick bool) []int {
+	if quick {
+		return []int{16, 32}
+	}
+	return []int{512, 2048, 4096}
+}
+
+// scalePlacements is the pod-placement count per cell.
+func scalePlacements(quick bool) int {
+	if quick {
+		return 600
+	}
+	return 170_000 // 2 modes × 3 node counts × 170k ≈ 1.02M placements
+}
+
+// scaleParams is the sweep's control-plane calibration, shared by both
+// modes — only CPMode differs between the arms. The apiserver sustains 500
+// serialized requests/s (1/QPS = 2ms occupancy) plus 1ms processing; store
+// commits cost 5ms; watch propagation 20ms — the component-communication
+// overheads "Understanding Open Source Serverless Platforms" measures. The
+// scheduler core decides every 500µs (2000 pods/s offered), so the
+// baseline's placement path is apiserver-bound while the direct path is
+// scheduler-bound.
+func scaleParams(base config.Params, mode config.CPMode, nodes int) config.Params {
+	prm := base
+	prm.WorkerNodes = nodes
+	prm.CPMode = mode.String()
+	prm.SchedulerLatency = 500 * time.Microsecond
+	prm.APIServerQPS = 500
+	prm.APIServerLatency = time.Millisecond
+	prm.EtcdCommitLatency = 5 * time.Millisecond
+	prm.WatchLatency = 20 * time.Millisecond
+	prm.SchedSamplePercent = 10 // percentage-of-nodes-to-score, floor 100
+	return prm
+}
+
+// ScaleRun is one (mode, nodes) cell of the sweep.
+type ScaleRun struct {
+	Mode       string
+	Nodes      int
+	Placements int
+	P50Ms      float64 // placement latency p50, milliseconds
+	P99Ms      float64 // placement latency p99, milliseconds
+	BindsPerS  float64 // sustained placements/s over the placement windows
+	QMaxMs     float64 // worst single apiserver queue wait, milliseconds
+}
+
+// ScaleOnce runs one cell: waves of one-core pods pack the cluster to its
+// CPU capacity, wait until every pod is ready, then churn (delete and
+// drain) before the next wave — Kubedirect's scale-pods pattern. Placement
+// latency is per pod (CreatePod → Ready); the drain phases are excluded
+// from the bindings/s window but their deletion traffic still loads the
+// same apiserver queue the next wave's binds use.
+func ScaleOnce(base config.Params, mode config.CPMode, nodes, placements int) ScaleRun {
+	prm := scaleParams(base, mode, nodes)
+	env := sim.NewEnv(1)
+	cl := cluster.New(env, prm)
+	reg := registry.New(cl.Net)
+	// A 2-byte image: the study measures the control plane, not pulls.
+	reg.Push(registry.NewImage("fn", []int64{1}, 1))
+	k := kube.New(env, cl, crt.NewSet(env, cl, reg, prm), prm)
+	k.Start()
+
+	out := ScaleRun{Mode: mode.String(), Nodes: nodes}
+	latencies := make([]float64, 0, placements)
+	var window time.Duration
+	env.Go("driver", func(p *sim.Proc) {
+		defer k.Shutdown()
+		for _, w := range k.Workers() {
+			if err := k.Runtime(w).PullImage(p, "fn"); err != nil {
+				panic(err)
+			}
+		}
+		waveSize := nodes * prm.CoresPerNode
+		for placed := 0; placed < placements; {
+			n := waveSize
+			if rest := placements - placed; rest < n {
+				n = rest
+			}
+			start := p.Now()
+			pods := make([]*kube.Pod, 0, n)
+			for i := 0; i < n; i++ {
+				pod, err := k.CreatePod(kube.PodSpec{
+					Name:       fmt.Sprintf("fn-%d", placed+i),
+					Image:      "fn",
+					CPURequest: 1,
+					MemMB:      64,
+				})
+				if err != nil {
+					panic(err)
+				}
+				pods = append(pods, pod)
+			}
+			for _, pod := range pods {
+				if err := k.WaitReady(p, pod); err != nil {
+					panic(err)
+				}
+				latencies = append(latencies, float64(pod.ReadyAt()-pod.CreatedAt())/float64(time.Millisecond))
+			}
+			window += p.Now() - start
+			placed += n
+			for _, pod := range pods {
+				k.DeletePod(pod.Spec.Name)
+			}
+			for !drained(cl) {
+				p.Sleep(250 * time.Millisecond)
+			}
+		}
+	})
+	env.Run()
+	out.Placements = len(latencies)
+	out.P50Ms = metrics.Percentile(latencies, 50)
+	out.P99Ms = metrics.Percentile(latencies, 99)
+	if window > 0 {
+		out.BindsPerS = float64(out.Placements) / window.Seconds()
+	}
+	out.QMaxMs = float64(k.ControlPlane().Stats().MaxQueueWait) / float64(time.Millisecond)
+	return out
+}
+
+// drained reports whether every node released its pod memory — the wave's
+// churn (including the store-mediated deletion writes) has fully landed.
+func drained(cl *cluster.Cluster) bool {
+	for _, w := range cl.Workers {
+		if w.MemUsedMB() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ScaleResult is the baseline-vs-direct sweep.
+type ScaleResult struct {
+	Rows []ScaleRun
+	// Total is the placement count across all cells (>1M at full size).
+	Total int
+	// P99SpeedupMax is baseline p99 / direct p99 at the largest node count.
+	P99SpeedupMax float64
+}
+
+// ScaleStudy sweeps both control-plane modes across the node counts. Cells
+// are independent deterministic simulations fanned across the worker pool;
+// results are identical at any worker count.
+func ScaleStudy(o Options) ScaleResult {
+	type cell struct {
+		mode  config.CPMode
+		nodes int
+	}
+	var cells []cell
+	nodeCounts := scaleNodeCounts(o.Quick)
+	for _, mode := range config.CPModes() {
+		for _, n := range nodeCounts {
+			cells = append(cells, cell{mode, n})
+		}
+	}
+	placements := scalePlacements(o.Quick)
+	runs := parallel.Run(len(cells), o.Workers, func(i int) ScaleRun {
+		return ScaleOnce(o.Prm, cells[i].mode, cells[i].nodes, placements)
+	})
+
+	res := ScaleResult{Rows: runs}
+	byCell := make(map[string]ScaleRun, len(runs))
+	for _, r := range runs {
+		res.Total += r.Placements
+		byCell[fmt.Sprintf("%s/%d", r.Mode, r.Nodes)] = r
+	}
+	largest := nodeCounts[len(nodeCounts)-1]
+	base := byCell[fmt.Sprintf("%s/%d", config.CPStore, largest)]
+	direct := byCell[fmt.Sprintf("%s/%d", config.CPDirect, largest)]
+	if direct.P99Ms > 0 {
+		res.P99SpeedupMax = base.P99Ms / direct.P99Ms
+	}
+	return res
+}
+
+// WriteTable renders the control-plane scale sweep.
+func (r ScaleResult) WriteTable(w io.Writer) error {
+	tbl := metrics.NewTable("mode", "nodes", "placements", "p50_ms", "p99_ms", "binds_per_s", "qmax_ms")
+	for _, row := range r.Rows {
+		tbl.AddRow(row.Mode, row.Nodes, row.Placements, row.P50Ms, row.P99Ms, row.BindsPerS, row.QMaxMs)
+	}
+	if err := tbl.Write(w); err != nil {
+		return err
+	}
+	largest := 0
+	for _, row := range r.Rows {
+		if row.Nodes > largest {
+			largest = row.Nodes
+		}
+	}
+	_, err := fmt.Fprintf(w, "\nscale (control-plane study): %d pod placements total in full-pack waves;\nplacement latency = pod create → ready. Both modes share the same cost\nconstants; baseline routes bindings, status updates, and deletions through\nthe apiserver queue + store commit + watch propagation, direct passes them\ncomponent-to-component (async store reconciliation). Direct cuts placement\np99 %.1fx at %d nodes.\n",
+		r.Total, r.P99SpeedupMax, largest)
+	return err
+}

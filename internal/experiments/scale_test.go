@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/config"
+)
+
+// TestScaleStudyQuick checks the study's headline claim at quick scale:
+// every cell completes its placements, the baseline pays apiserver queue
+// wait, and the direct path beats the baseline's placement p99 and
+// bindings/s at the largest node count.
+func TestScaleStudyQuick(t *testing.T) {
+	res := ScaleStudy(QuickOptions())
+	nodeCounts := scaleNodeCounts(true)
+	if want := 2 * len(nodeCounts); len(res.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), want)
+	}
+	if want := 2 * len(nodeCounts) * scalePlacements(true); res.Total != want {
+		t.Fatalf("total placements = %d, want %d", res.Total, want)
+	}
+	for _, row := range res.Rows {
+		if row.Placements != scalePlacements(true) {
+			t.Errorf("%s/%d placed %d pods, want %d", row.Mode, row.Nodes, row.Placements, scalePlacements(true))
+		}
+		if row.P50Ms <= 0 || row.P99Ms < row.P50Ms || row.BindsPerS <= 0 {
+			t.Errorf("%s/%d: implausible stats %+v", row.Mode, row.Nodes, row)
+		}
+	}
+	largest := nodeCounts[len(nodeCounts)-1]
+	var base, direct ScaleRun
+	for _, row := range res.Rows {
+		if row.Nodes != largest {
+			continue
+		}
+		switch row.Mode {
+		case config.CPStore.String():
+			base = row
+		case config.CPDirect.String():
+			direct = row
+		}
+	}
+	if base.QMaxMs <= 0 {
+		t.Errorf("baseline saw no apiserver queue wait: %+v", base)
+	}
+	if direct.QMaxMs != 0 {
+		t.Errorf("direct mode queued on the apiserver: %+v", direct)
+	}
+	if direct.P99Ms >= base.P99Ms {
+		t.Errorf("direct p99 %.1fms not under baseline %.1fms at %d nodes",
+			direct.P99Ms, base.P99Ms, largest)
+	}
+	if direct.BindsPerS <= base.BindsPerS {
+		t.Errorf("direct bindings/s %.1f not over baseline %.1f at %d nodes",
+			direct.BindsPerS, base.BindsPerS, largest)
+	}
+	if res.P99SpeedupMax <= 1 {
+		t.Errorf("p99 speedup %.2f, want > 1", res.P99SpeedupMax)
+	}
+}
+
+// TestScaleOnceDeterministic: a cell is a pure function of its inputs —
+// there is no randomness anywhere on the placement path.
+func TestScaleOnceDeterministic(t *testing.T) {
+	o := QuickOptions()
+	a := ScaleOnce(o.Prm, config.CPDirect, 16, 200)
+	b := ScaleOnce(o.Prm, config.CPDirect, 16, 200)
+	if a != b {
+		t.Errorf("reruns diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestScaleWorkersInvariant: the study's output is identical at any
+// worker-pool size, like every other experiment.
+func TestScaleWorkersInvariant(t *testing.T) {
+	render := func(workers int) []byte {
+		o := QuickOptions()
+		o.Workers = workers
+		var buf bytes.Buffer
+		if err := ScaleStudy(o).WriteTable(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	one, four := render(1), render(4)
+	if !bytes.Equal(one, four) {
+		t.Errorf("scale summary differs between -workers 1 and 4:\n--- 1 ---\n%s--- 4 ---\n%s", one, four)
+	}
+}

@@ -900,6 +900,15 @@ func (s *Service) autoscalerLoop(p *sim.Proc) {
 		if s.stopped {
 			return
 		}
+		// The metric scrape rides the control plane (an apiserver read in
+		// the store-mediated baseline, a direct connection in direct mode);
+		// zero delay = the seed's free metrics pipeline.
+		if d := s.kn.k.ControlPlane().MetricReadDelay(); d > 0 {
+			p.Sleep(d)
+			if s.stopped {
+				return
+			}
+		}
 		s.purgeDead()
 		now := p.Now()
 		rps := float64(s.Requests-lastRequests) / tick.Seconds()
@@ -908,6 +917,14 @@ func (s *Service) autoscalerLoop(p *sim.Proc) {
 		rec := as.Scale(agg.Snapshot(now, s.ReadyPods()), now)
 		if rec.Hold {
 			continue
+		}
+		// The scale decision is a write the scheduler must observe before
+		// the replica change takes effect.
+		if d := s.kn.k.ControlPlane().ScaleWriteDelay(); d > 0 {
+			p.Sleep(d)
+			if s.stopped {
+				return
+			}
 		}
 		s.scaleTo(rec.Desired)
 	}
@@ -924,6 +941,14 @@ func (s *Service) hpaLoop(p *sim.Proc) {
 		if s.stopped {
 			return
 		}
+		// Same control-plane costs as the KPA loop: metric read per sync,
+		// scale write when acting. Zero delays = seed behaviour.
+		if d := s.kn.k.ControlPlane().MetricReadDelay(); d > 0 {
+			p.Sleep(d)
+			if s.stopped {
+				return
+			}
+		}
 		s.purgeDead()
 		ready := s.ReadyPods()
 		if ready == 0 {
@@ -938,6 +963,12 @@ func (s *Service) hpaLoop(p *sim.Proc) {
 		rec := as.Scale(snap, p.Now())
 		if rec.Hold {
 			continue
+		}
+		if d := s.kn.k.ControlPlane().ScaleWriteDelay(); d > 0 {
+			p.Sleep(d)
+			if s.stopped {
+				return
+			}
 		}
 		s.scaleTo(rec.Desired)
 	}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/config"
+	"repro/internal/cplane"
 	"repro/internal/crt"
 	"repro/internal/faults"
 	"repro/internal/sched"
@@ -79,10 +80,16 @@ type Pod struct {
 	ready     bool
 	readyF    *sim.Future[error]
 	container *crt.Container
+	createdAt time.Duration
 	readyAt   time.Duration
 	deleted   bool
 	accounted bool // counted in per-node requested-resource accounting
 }
+
+// CreatedAt returns the virtual time the pod was submitted (CreatePod).
+// ReadyAt − CreatedAt is the pod's placement latency: scheduling wait,
+// control-plane propagation, and bring-up.
+func (pod *Pod) CreatedAt() time.Duration { return pod.createdAt }
 
 // Phase returns the pod's current phase.
 func (pod *Pod) Phase() Phase { return pod.phase }
@@ -107,15 +114,25 @@ type podOp struct {
 	delete bool
 }
 
+// nodeShape is a distinct (cores, memMB) worker configuration. fitsEver
+// scans shapes instead of nodes: clusters have a handful of machine types,
+// so the "could this ever fit" check is O(shapes), not O(nodes).
+type nodeShape struct {
+	cores int
+	memMB int
+}
+
 // Kube is the control plane plus its kubelets.
 type Kube struct {
 	env      *sim.Env
 	cl       *cluster.Cluster
 	prm      config.Params
+	cp       *cplane.Plane
 	runtimes map[string]*crt.Runtime
 	pods     map[string]*Pod
 	schedQ   *sim.Chan[*Pod]
 	nodeQ    map[string]*sim.Chan[podOp]
+	nodes    map[string]*cluster.Node
 	cordoned map[string]bool
 	faults   *faults.Injector
 	started  bool
@@ -124,13 +141,27 @@ type Kube struct {
 	// Placement: the policy picks among cands (the workers in stable order);
 	// reqCPU/reqMemMB hold per-node requested resources maintained on
 	// bind/unbind (O(1) per decision, replacing the seed's O(nodes×pods)
-	// rescan — requestedScan remains as the test oracle); pending holds pods
-	// that fit no node right now and are re-queued when capacity frees.
-	policy   sched.Policy
-	cands    []sched.Candidate
-	reqCPU   map[string]float64
-	reqMemMB map[string]int
-	pending  []*Pod
+	// rescan — requestedScan remains as the test oracle); podsOn is the
+	// equivalent O(1) live-pod count behind PodsOnNode (oracle:
+	// podsOnNodeScan); shapes backs fitsEver; pending holds pods that fit no
+	// node right now, re-queued when capacity frees — but only when the
+	// freed node could actually take one (pendMinCPU/pendMinMem are
+	// conservative per-dimension minima over the pending pods' requests, so
+	// a deletion storm of small pods cannot trigger quadratic rescans of an
+	// unsatisfiable pending set). schedOffset rotates the sampling window
+	// when SchedSamplePercent is set; picks counts Policy.Pick calls for the
+	// regression tests.
+	policy      sched.Policy
+	cands       []sched.Candidate
+	reqCPU      map[string]float64
+	reqMemMB    map[string]int
+	podsOn      map[string]int
+	shapes      []nodeShape
+	pending     []*Pod
+	pendMinCPU  float64
+	pendMinMem  int
+	schedOffset int
+	picks       int
 }
 
 // New builds a control plane over the cluster's worker nodes (the submit
@@ -143,21 +174,40 @@ func New(env *sim.Env, cl *cluster.Cluster, runtimes crt.Set, prm config.Params)
 		env:      env,
 		cl:       cl,
 		prm:      prm,
+		cp:       cplane.New(env, prm),
 		runtimes: runtimes,
 		pods:     make(map[string]*Pod),
 		schedQ:   sim.NewUnbounded[*Pod](env),
 		nodeQ:    make(map[string]*sim.Chan[podOp]),
+		nodes:    make(map[string]*cluster.Node),
 		cordoned: make(map[string]bool),
 		reqCPU:   make(map[string]float64),
 		reqMemMB: make(map[string]int),
+		podsOn:   make(map[string]int),
 	}
 	for _, w := range cl.Workers {
 		k.nodeQ[w.Name] = sim.NewUnbounded[podOp](env)
+		k.nodes[w.Name] = w
 		k.cands = append(k.cands, sched.Candidate{Name: w.Name, Node: w})
+		shape := nodeShape{cores: w.Cores, memMB: w.MemMB}
+		known := false
+		for _, s := range k.shapes {
+			if s == shape {
+				known = true
+				break
+			}
+		}
+		if !known {
+			k.shapes = append(k.shapes, shape)
+		}
 	}
 	k.policy = k.policyFor(prm.KubePlacementPolicy)
 	return k
 }
+
+// ControlPlane exposes the control-plane cost model, shared with the
+// serving layer so autoscaler traffic contends on the same apiserver.
+func (k *Kube) ControlPlane() *cplane.Plane { return k.cp }
 
 // policyFor builds the named placement policy over this control plane's
 // state. The empty name selects the seed scheduler's behaviour:
@@ -194,7 +244,7 @@ func (k *Kube) policyFor(name string) sched.Policy {
 	default:
 		panic(fmt.Sprintf("kube: unknown placement policy %q", name))
 	}
-	pol := sched.Policy{Name: name, Filters: filters, Scores: scores}
+	pol := sched.Policy{Name: name, Filters: filters, Scores: scores, SamplePercent: k.prm.SchedSamplePercent}
 	if err := pol.Validate(); err != nil {
 		panic(err)
 	}
@@ -248,14 +298,16 @@ func (k *Kube) CreatePod(spec PodSpec) (*Pod, error) {
 	if _, exists := k.pods[spec.Name]; exists {
 		return nil, fmt.Errorf("kube: pod %q already exists", spec.Name)
 	}
-	pod := &Pod{Spec: spec, phase: PhasePending, readyF: sim.NewFuture[error](k.env)}
+	pod := &Pod{Spec: spec, phase: PhasePending, createdAt: k.env.Now(), readyF: sim.NewFuture[error](k.env)}
 	k.pods[spec.Name] = pod
 	k.schedQ.TrySend(pod)
 	return pod, nil
 }
 
 // DeletePod removes a pod: if still pending it is cancelled; otherwise the
-// owning kubelet tears the container down.
+// owning kubelet tears the container down. The control-plane store releases
+// the pod's requests immediately (the scheduler sees the deletion write),
+// while the kubelet observes it one deletion-propagation delay later.
 func (k *Kube) DeletePod(name string) {
 	pod, ok := k.pods[name]
 	if !ok {
@@ -266,8 +318,24 @@ func (k *Kube) DeletePod(name string) {
 	pod.ready = false
 	if pod.NodeName != "" {
 		k.unbind(pod)
-		k.nodeQ[pod.NodeName].TrySend(podOp{pod: pod, delete: true})
+		k.deliver(pod.NodeName, podOp{pod: pod, delete: true}, k.cp.DeleteDelay())
 	}
+}
+
+// deliver hands a pod operation to a node's kubelet after the control
+// plane's propagation delay. The zero-delay path is the seed's in-process
+// send — no event is scheduled, so inactive planes stay byte-identical.
+func (k *Kube) deliver(node string, op podOp, delay time.Duration) {
+	q := k.nodeQ[node]
+	if delay <= 0 {
+		q.TrySend(op)
+		return
+	}
+	k.env.After(delay, func() {
+		if !k.stopped { // queue closed by Shutdown; drop the late delivery
+			q.TrySend(op)
+		}
+	})
 }
 
 // AttachFaults connects the control plane to the fault injector: a node
@@ -321,8 +389,19 @@ func (k *Kube) WaitReady(p *sim.Proc, pod *Pod) error {
 	return pod.readyF.Get(p)
 }
 
-// PodsOnNode counts live pods bound to a node.
-func (k *Kube) PodsOnNode(node string) int {
+// PodsOnNode counts live pods bound to a node, from the O(1) accounting
+// maintained on bind/unbind (oracle: podsOnNodeScan). The Spread score
+// calls this once per candidate per placement, so the seed's store rescan
+// made spread placements O(nodes×pods).
+func (k *Kube) PodsOnNode(node string) int { return k.podsOn[node] }
+
+// podsOnNodeScan recomputes PodsOnNode by rescanning the pod store — the
+// seed algorithm, kept as the oracle the accounting is asserted against in
+// tests. The accounted flag's lifetime (bind → first unbind) coincides
+// exactly with membership in this scan: DeletePod removes the pod from the
+// store in the same step it unbinds, and every terminal phase transition
+// for a pod still in the store unbinds it.
+func (k *Kube) podsOnNodeScan(node string) int {
 	n := 0
 	for _, pod := range k.pods {
 		if pod.NodeName == node && pod.phase != PhaseDead && pod.phase != PhaseFailed {
@@ -355,13 +434,13 @@ func (k *Kube) schedulerLoop(p *sim.Proc) {
 				continue
 			}
 			p.Tracef("pod %s unschedulable, waiting for capacity", pod.Spec.Name)
-			k.pending = append(k.pending, pod)
+			k.addPending(pod)
 			continue
 		}
 		k.bind(pod, node.Name)
 		sched.Record(trace.FromEnv(k.env), nil, "kube", k.policy, podRequest(pod.Spec), dec)
 		p.Tracef("bound pod %s to %s", pod.Spec.Name, node.Name)
-		k.nodeQ[node.Name].TrySend(podOp{pod: pod})
+		k.deliver(node.Name, podOp{pod: pod}, k.cp.BindDelay())
 	}
 }
 
@@ -370,19 +449,33 @@ func podRequest(spec PodSpec) sched.Request {
 }
 
 func (k *Kube) pickNode(spec PodSpec) (*cluster.Node, sched.Decision) {
-	d := k.policy.Pick(podRequest(spec), k.cands, 0)
+	k.picks++
+	offset := 0
+	if k.policy.SamplePercent > 0 {
+		// Rotate the sampling window so no suffix of the node list is
+		// permanently shadowed. Without sampling the offset stays 0 — the
+		// seed's stable node-order tie-breaking.
+		offset = k.schedOffset
+		k.schedOffset++
+	}
+	d := k.policy.Pick(podRequest(spec), k.cands, offset)
 	if d.Winner == nil {
 		return nil, d
 	}
 	return d.Winner.Node, d
 }
 
+// Picks returns the number of placement decisions evaluated so far (for
+// scheduler-load regression tests).
+func (k *Kube) Picks() int { return k.picks }
+
 // fitsEver reports whether some worker could take the pod on an otherwise
 // empty cluster (cordons ignored — they lift). False means waiting is
-// pointless: the pod must fail.
+// pointless: the pod must fail. It scans the distinct node shapes, not the
+// nodes, so it stays O(1)-ish at thousands of homogeneous workers.
 func (k *Kube) fitsEver(spec PodSpec) bool {
-	for _, w := range k.cl.Workers {
-		if spec.MemMB <= w.MemMB && spec.CPURequest <= float64(w.Cores) {
+	for _, s := range k.shapes {
+		if spec.MemMB <= s.memMB && spec.CPURequest <= float64(s.cores) {
 			return true
 		}
 	}
@@ -397,11 +490,12 @@ func (k *Kube) bind(pod *Pod, node string) {
 	pod.accounted = true
 	k.reqCPU[node] += pod.Spec.CPURequest
 	k.reqMemMB[node] += pod.Spec.MemMB
+	k.podsOn[node]++
 }
 
 // unbind releases a bound pod's requested resources (idempotent via the
 // accounted flag — every terminal path calls it) and retries pending pods,
-// since capacity just freed.
+// since capacity just freed on the pod's node.
 func (k *Kube) unbind(pod *Pod) {
 	if !pod.accounted {
 		return
@@ -409,10 +503,51 @@ func (k *Kube) unbind(pod *Pod) {
 	pod.accounted = false
 	k.reqCPU[pod.NodeName] -= pod.Spec.CPURequest
 	k.reqMemMB[pod.NodeName] -= pod.Spec.MemMB
+	k.podsOn[pod.NodeName]--
+	k.kickPendingFor(pod.NodeName)
+}
+
+// addPending records a pod that fits no node right now and folds its
+// requests into the conservative per-dimension minima the kick gate checks.
+func (k *Kube) addPending(pod *Pod) {
+	if len(k.pending) == 0 || pod.Spec.CPURequest < k.pendMinCPU {
+		k.pendMinCPU = pod.Spec.CPURequest
+	}
+	if len(k.pending) == 0 || pod.Spec.MemMB < k.pendMinMem {
+		k.pendMinMem = pod.Spec.MemMB
+	}
+	k.pending = append(k.pending, pod)
+}
+
+// kickPendingFor re-queues the pending pods when capacity freed on node
+// could actually take one of them. The gate compares the node's free CPU
+// (scheduler accounting) and free memory (admission accounting) against the
+// per-dimension minima of the pending pods' requests — exactly the
+// quantities the CPUFit/MemFit filters would check. It can only err towards
+// kicking (the minima may belong to different pods, and deleted pending
+// pods can leave them stale-low), never towards stranding a schedulable
+// pod: a pod the filters would accept on this node necessarily clears both
+// minima. A deletion storm of small pods against an unsatisfiable pending
+// set therefore triggers zero rescans instead of deletions×pending Picks.
+func (k *Kube) kickPendingFor(node string) {
+	if len(k.pending) == 0 {
+		return
+	}
+	if k.cordoned[node] {
+		return // freed capacity is unschedulable until uncordon, which kicks
+	}
+	if n := k.nodes[node]; n != nil {
+		if float64(n.Cores)-k.reqCPU[node] < k.pendMinCPU {
+			return
+		}
+		if n.MemMB-n.MemUsedMB() < k.pendMinMem {
+			return
+		}
+	}
 	k.kickPending()
 }
 
-// kickPending re-queues pods that previously fit nowhere.
+// kickPending unconditionally re-queues every pending pod.
 func (k *Kube) kickPending() {
 	if k.stopped || len(k.pending) == 0 {
 		return
@@ -530,6 +665,21 @@ func (k *Kube) bringUp(p *sim.Proc, pod *Pod, node *cluster.Node) {
 		pod.readyF.Set(fmt.Errorf("kube: pod %s deleted during startup", pod.Spec.Name))
 		return
 	}
+	// The kubelet posts the Ready condition to the control plane; watchers
+	// (the serving layer's WaitReady) observe it after the status write
+	// propagates. Zero delay = the seed's instantaneous readiness.
+	if d := k.cp.StatusDelay(); d > 0 {
+		p.Sleep(d)
+		if pod.deleted {
+			sp.SetLabel("status", "cancelled")
+			_ = c.StopRemove(p)
+			node.ReleaseMem(pod.Spec.MemMB)
+			pod.phase = PhaseDead
+			k.unbind(pod)
+			pod.readyF.Set(fmt.Errorf("kube: pod %s deleted during startup", pod.Spec.Name))
+			return
+		}
+	}
 	pod.phase = PhaseRunning
 	pod.ready = true
 	pod.readyAt = p.Now()
@@ -551,5 +701,5 @@ func (k *Kube) teardown(p *sim.Proc, pod *Pod, node *cluster.Node) {
 	pod.phase = PhaseDead
 	pod.ready = false
 	k.unbind(pod) // normally already unbound at DeletePod; idempotent
-	k.kickPending()
+	k.kickPendingFor(node.Name)
 }

@@ -21,6 +21,9 @@ func assertAccounting(t *testing.T, f *fixture, when string) {
 		if f.k.reqMemMB[w.Name] != mem {
 			t.Errorf("%s: %s: accounted mem %d != rescan %d", when, w.Name, f.k.reqMemMB[w.Name], mem)
 		}
+		if got, want := f.k.PodsOnNode(w.Name), f.k.podsOnNodeScan(w.Name); got != want {
+			t.Errorf("%s: %s: accounted pod count %d != rescan %d", when, w.Name, got, want)
+		}
 	}
 }
 

@@ -1,0 +1,90 @@
+package kube
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+// TestDeletionStormNoQuadraticRescan is the scheduler-load regression gate
+// at 5k nodes: a storm of pod deletions whose freed capacity cannot fit any
+// pending pod must trigger ZERO pending re-scans. The seed re-queued every
+// pending pod on every unbind, so a 2000-deletion storm against 200
+// unsatisfiable pending pods cost 400k placement evaluations of 5000 nodes
+// each; the per-dimension minima gate (kickPendingFor) skips them all. The
+// test then deletes one large pod to prove the gate errs only towards
+// kicking: freed capacity that does fit re-queues the pending set and pods
+// bind.
+func TestDeletionStormNoQuadraticRescan(t *testing.T) {
+	const nodes = 5000
+	f := newFixtureWith(t, func(p *config.Params) {
+		p.WorkerNodes = nodes
+		p.SchedulerLatency = 0    // storm cost is measured in Picks, not virtual time
+		p.SchedSamplePercent = 10 // sample 500 of 5000 — the sweep's configuration
+	})
+	f.env.Go("client", func(p *sim.Proc) {
+		mk := func(name string, cpu float64) *Pod {
+			pod, err := f.k.CreatePod(PodSpec{Name: name, Image: "matmul", CPURequest: cpu, MemMB: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return pod
+		}
+		// Fill every 8-core node with one 7-core and one 0.5-core pod,
+		// leaving 0.5 cores free cluster-wide.
+		var fill []*Pod
+		for i := 0; i < nodes; i++ {
+			fill = append(fill, mk(fmt.Sprintf("big-%04d", i), 7))
+		}
+		for i := 0; i < nodes; i++ {
+			fill = append(fill, mk(fmt.Sprintf("small-%04d", i), 0.5))
+		}
+		for _, pod := range fill {
+			if err := f.k.WaitReady(p, pod); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// 200 two-core pods fit on some empty node (fitsEver) but on no
+		// node now: they pend.
+		var pend []*Pod
+		for i := 0; i < 200; i++ {
+			pend = append(pend, mk(fmt.Sprintf("pend-%03d", i), 2))
+		}
+		p.Sleep(time.Second)
+		for _, pod := range pend {
+			if pod.Phase() != PhasePending {
+				t.Fatalf("pod %s phase %v, want Pending", pod.Spec.Name, pod.Phase())
+			}
+		}
+		// The storm: 2000 deletions each freeing 0.5 cores — under the
+		// 2-core pending minimum, so no deletion can unblock anything.
+		before := f.k.Picks()
+		for i := 0; i < 2000; i++ {
+			f.k.DeletePod(fmt.Sprintf("small-%04d", i))
+		}
+		p.Sleep(time.Second) // let teardowns (and their kick gates) run
+		if got := f.k.Picks() - before; got != 0 {
+			t.Errorf("storm triggered %d placement evaluations, want 0 (seed: %d)",
+				got, 2000*len(pend))
+		}
+		assertAccounting(t, f, "after storm")
+		// Liveness: freeing capacity that DOES fit (a 7-core pod) must
+		// re-queue the pending set and bind pods into it.
+		f.k.DeletePod("big-0000")
+		for _, pod := range pend[:4] { // node 0 is fully free: 4 two-core pods fit
+			if err := f.k.WaitReady(p, pod); err != nil {
+				t.Fatalf("pending pod %s never bound after capacity freed: %v", pod.Spec.Name, err)
+			}
+			if pod.NodeName == "" {
+				t.Errorf("pod %s not bound", pod.Spec.Name)
+			}
+		}
+		if f.k.Picks() == before {
+			t.Error("fitting deletion triggered no placement evaluations")
+		}
+	})
+	f.env.Run()
+}

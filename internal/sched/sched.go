@@ -90,11 +90,25 @@ type Score struct {
 	Eval func(req Request, c Candidate) float64
 }
 
+// MinFeasibleToScore is the sampling floor: a sampling Policy never settles
+// for fewer feasible candidates than this (unless fewer exist), matching the
+// kube-scheduler's minFeasibleNodesToFind. Small clusters are therefore
+// always scored exhaustively and sampling only changes behaviour at scale.
+const MinFeasibleToScore = 100
+
 // Policy is a named placement policy: filters then weighted scores.
 type Policy struct {
 	Name    string
 	Filters []Filter
 	Scores  []Score
+	// SamplePercent is the kube-scheduler's percentage-of-nodes-to-score:
+	// when in (0, 100), Pick stops visiting candidates once it has scored
+	// max(MinFeasibleToScore, len(cands)×SamplePercent/100) feasible ones,
+	// so a placement costs O(sample) instead of O(cluster). 0 (and 100)
+	// score every candidate — the seed behaviour. Sampling callers should
+	// pass an incrementing offset so the visit window rotates and no suffix
+	// of the candidate list is permanently shadowed.
+	SamplePercent int
 }
 
 // PluginScore is one score plugin's raw (unweighted) value for the winner.
@@ -113,6 +127,10 @@ type Decision struct {
 	PerPlugin []PluginScore
 	// Feasible counts candidates that passed every filter.
 	Feasible int
+	// Visited counts candidates examined (filtered or scored). Without
+	// sampling it equals len(cands); with sampling it is how far Pick got
+	// before hitting its feasible target.
+	Visited int
 }
 
 // weight resolves a Score's effective weight (zero value means 1).
@@ -142,12 +160,31 @@ func (p Policy) feasible(req Request, c Candidate) bool {
 	return true
 }
 
+// sampleTarget returns how many feasible candidates Pick should score out
+// of n before stopping early, or n when sampling is off.
+func (p Policy) sampleTarget(n int) int {
+	if p.SamplePercent <= 0 || p.SamplePercent >= 100 {
+		return n
+	}
+	t := n * p.SamplePercent / 100
+	if t < MinFeasibleToScore {
+		t = MinFeasibleToScore
+	}
+	if t > n {
+		t = n
+	}
+	return t
+}
+
 // Pick chooses the best feasible candidate. Candidates are visited in slice
 // order rotated by offset (index (i+offset) mod len), and only a strictly
 // higher total score displaces the current best — the first candidate in
 // rotation order wins ties, which is the whole determinism contract: callers
 // that pass a constant offset get stable placement, callers that pass an
-// incrementing counter get round-robin rotation among equals.
+// incrementing counter get round-robin rotation among equals. A sampling
+// policy (SamplePercent in (0,100)) stops visiting once it has scored its
+// feasible target, trading global optimality for O(sample) placements; the
+// choice remains a pure function of (policy, cands, offset).
 func (p Policy) Pick(req Request, cands []Candidate, offset int) Decision {
 	var d Decision
 	n := len(cands)
@@ -157,10 +194,12 @@ func (p Policy) Pick(req Request, cands []Candidate, offset int) Decision {
 	if offset < 0 {
 		offset = -offset % n // defensive; callers pass counters ≥ 0
 	}
+	target := p.sampleTarget(n)
 	best := -1
 	bestScore := 0.0
 	for i := 0; i < n; i++ {
 		idx := (i + offset) % n
+		d.Visited++
 		if !p.feasible(req, cands[idx]) {
 			continue
 		}
@@ -168,6 +207,9 @@ func (p Policy) Pick(req Request, cands []Candidate, offset int) Decision {
 		score := p.total(req, cands[idx])
 		if best < 0 || score > bestScore {
 			best, bestScore = idx, score
+		}
+		if d.Feasible >= target {
+			break
 		}
 	}
 	if best < 0 {
@@ -217,6 +259,9 @@ func (p Policy) Validate() error {
 	}
 	if len(p.Scores) == 0 {
 		return fmt.Errorf("sched: policy %q has no score plugins", p.Name)
+	}
+	if p.SamplePercent < 0 || p.SamplePercent > 100 {
+		return fmt.Errorf("sched: policy %q: sample percent %d outside [0, 100]", p.Name, p.SamplePercent)
 	}
 	for _, f := range p.Filters {
 		if f.Fit == nil {
